@@ -1,0 +1,69 @@
+// Fig. 5 — Latency comparison with MNSIM2.0.
+//
+// Paper setup (§IV-B): same crossbar configuration as MNSIM2.0, three
+// networks (VGG-8, VGG-16, resnet-18; MNSIM2.0's bundled models, since its
+// released code lacks concat support). Latency of our cycle-accurate
+// simulator normalized to the MNSIM2.0 behavior-level result.
+//
+// Paper result: ~±10% on the VGGs, ours ~53% slower on resnet-18 — because
+// MNSIM2.0 assumes fully asynchronous, infinitely-buffered communication
+// while our ISA uses synchronized transfers. The paper quantifies it on
+// resnet-18's second convolution: communication-latency ratio 18% under
+// MNSIM2.0 vs 77% under PIMSIM-NN; this harness prints both.
+#include "bench_common.h"
+#include "mnsim/mnsim.h"
+
+int main() {
+  using namespace pim;
+
+  bench::print_header("Fig. 5 — latency vs MNSIM2.0 (idealistic async comms)",
+                      "paper Fig. 5 + §IV-B text, DATE'24");
+
+  std::vector<std::string> nets = {"vgg8", "vgg16", "resnet18"};
+  if (bench::quick()) nets = {"vgg8", "resnet18"};
+
+  config::ArchConfig cfg = config::ArchConfig::mnsim_like();
+
+  std::vector<std::vector<std::string>> rows;
+  stats::Series s_mnsim{"MNSIM2.0", {}}, s_ours{"Ours", {}};
+
+  for (const std::string& name : nets) {
+    nn::Graph net = bench::bench_model(name);
+    mnsim::Result m = mnsim::evaluate(net, cfg);
+    runtime::Report ours = bench::run(net, cfg, compiler::MappingPolicy::PerformanceFirst);
+    rows.push_back({name, stats::fmt(m.latency_ms), stats::fmt(ours.latency_ms()),
+                    stats::fmt(ours.latency_ms() / m.latency_ms)});
+    s_mnsim.values.push_back(1.0);
+    s_ours.values.push_back(ours.latency_ms() / m.latency_ms);
+
+    // §IV-B: communication-latency ratio of the second convolution layer.
+    if (name == "resnet18") {
+      int32_t conv2 = -1;
+      int seen = 0;
+      for (const nn::Layer& l : net.layers()) {
+        if (l.type == nn::OpType::Conv && ++seen == 2) {
+          conv2 = l.id;
+          break;
+        }
+      }
+      if (conv2 >= 0) {
+        const double mnsim_ratio = m.layers.at(conv2).comm_ratio();
+        const auto it = ours.stats.layers.find(conv2);
+        const double our_ratio = it != ours.stats.layers.end() ? it->second.comm_ratio() : 0;
+        std::printf("resnet-18 conv2 communication-latency ratio: MNSIM2.0 %.0f%%, "
+                    "ours %.0f%%  (paper: 18%% vs 77%%)\n\n",
+                    mnsim_ratio * 100.0, our_ratio * 100.0);
+      }
+    }
+  }
+
+  std::printf("%s\n", stats::markdown_table(
+                          {"network", "MNSIM2.0 (ms)", "ours (ms)", "ours / MNSIM2.0"}, rows)
+                          .c_str());
+  std::printf("%s\n", stats::bar_chart("Fig. 5 latency normalized to MNSIM2.0", nets,
+                                       {s_mnsim, s_ours})
+                          .c_str());
+  std::printf("expected shape: VGGs close to 1.0 (~10%%), resnet-18 noticeably above 1.0\n"
+              "(paper: +53%% — synchronized vs idealistic-asynchronous communication)\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Chip model (paper Fig. 2a): a mesh of cores plus a global memory reachable
+// through the NoC. Owns the simulation kernel, all cores, the interconnect
+// and the statistics of one run.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/core.h"
+#include "arch/noc.h"
+#include "arch/stats.h"
+#include "config/arch_config.h"
+#include "isa/program.h"
+#include "sim/kernel.h"
+
+namespace pim::arch {
+
+class Chip {
+ public:
+  /// The program must outlive the chip. Throws std::invalid_argument when
+  /// the program fails structural verification against `cfg`.
+  Chip(const config::ArchConfig& cfg, const isa::Program& program);
+  Chip(const Chip&) = delete;
+  Chip& operator=(const Chip&) = delete;
+
+  /// Simulate to completion (all cores halted) or until the configured
+  /// max_time budget. Returns the accumulated statistics (also kept in
+  /// stats()). Can only be called once per Chip instance.
+  RunStats run();
+
+  /// True when every core with a program retired its HALT. If run() returns
+  /// with !finished(), the program deadlocked or exceeded the time budget.
+  bool finished() const;
+
+  // -- functional global memory ------------------------------------------------
+  void write_global(uint64_t addr, std::span<const uint8_t> bytes);
+  std::vector<uint8_t> read_global(uint64_t addr, size_t size) const;
+
+  Core& core(uint16_t id) { return *cores_.at(id); }
+  Noc& noc() { return noc_; }
+  sim::Kernel& kernel() { return kernel_; }
+  const config::ArchConfig& config() const { return cfg_; }
+  RunStats& stats() { return stats_; }
+
+  /// Global-memory port occupancy (latency + serialization) for `bytes`.
+  sim::Time gmem_access_ps(uint64_t bytes) const;
+  sim::Resource& gmem_port() { return gmem_port_; }
+  void charge_gmem(uint64_t bytes);
+  std::vector<uint8_t>& gmem_backing() { return gmem_; }
+
+  /// Static power of the whole chip in mW (leakage integrated over the run).
+  double static_power_mw() const;
+
+  /// Instruction trace sink (nullptr unless cfg.sim.trace_file is set).
+  /// Cores append one line per retired instruction:
+  ///   <issue_ps> <complete_ps> core=<id> <disassembly>
+  std::ostream* trace() { return trace_ ? trace_.get() : nullptr; }
+
+ private:
+  std::unique_ptr<std::ofstream> trace_;
+  config::ArchConfig cfg_;
+  const isa::Program& program_;
+  sim::Kernel kernel_;
+  RunStats stats_;
+  Noc noc_;
+  sim::Clock core_clock_;
+  sim::Resource gmem_port_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<uint8_t> gmem_;  ///< grown on demand, capped far below config size
+  bool ran_ = false;
+};
+
+}  // namespace pim::arch

@@ -1,0 +1,646 @@
+#include "arch/core.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "arch/chip.h"
+#include "common/math_util.h"
+#include "common/strings.h"
+
+namespace pim::arch {
+
+using isa::DType;
+using isa::GroupDef;
+using isa::Instruction;
+using isa::InstrClass;
+using isa::Opcode;
+
+Core::Core(sim::Kernel& kernel, const config::ArchConfig& cfg, uint16_t id, Chip& chip,
+           const isa::CoreProgram& program, RunStats& stats)
+    : kernel_(kernel),
+      cfg_(cfg),
+      id_(id),
+      chip_(chip),
+      program_(program),
+      stats_(stats),
+      my_stats_(stats.cores.at(id)),
+      clock_(kernel, cfg.core.freq_mhz),
+      lm_(cfg.core.local_memory.size_bytes, 0),
+      lm_port_(kernel, 1),
+      vector_unit_(kernel, 1),
+      transfer_unit_(kernel, 1),
+      scalar_unit_(kernel, 1),
+      adc_pool_(kernel, cfg.core.matrix.adc_count),
+      rob_slot_freed_(kernel),
+      branch_resolved_(kernel) {
+  for (const isa::DataSegment& seg : program.lm_init) {
+    if (seg.addr + seg.bytes.size() > lm_.size()) {
+      throw std::invalid_argument(strformat("core %u: lm_init segment out of range", id));
+    }
+    std::copy(seg.bytes.begin(), seg.bytes.end(), lm_.begin() + seg.addr);
+  }
+  uint16_t max_group = 0;
+  for (const GroupDef& g : program.groups) max_group = std::max(max_group, g.id);
+  if (!program.groups.empty()) {
+    group_locks_.resize(size_t{max_group} + 1);
+    for (const GroupDef& g : program.groups) {
+      group_locks_[g.id] = std::make_unique<sim::Resource>(kernel, 1);
+    }
+  }
+}
+
+void Core::start() {
+  if (program_.code.empty()) return;
+  started_ = true;
+  kernel_.spawn(dispatch_proc());
+}
+
+sim::Time Core::lm_access_ps(uint64_t bytes) const {
+  const auto& lm = cfg_.core.local_memory;
+  return clock_.to_ps(lm.latency_cycles + ceil_div<uint64_t>(bytes, lm.bytes_per_cycle));
+}
+
+void Core::charge_lm(uint64_t bytes) {
+  stats_.energy.add(Component::LocalMemory,
+                    cfg_.core.local_memory.energy_pj_per_byte * static_cast<double>(bytes));
+}
+
+const GroupDef& Core::group(uint16_t gid) const {
+  const GroupDef* g = program_.find_group(gid);
+  if (g == nullptr) {
+    throw std::logic_error(strformat("core %u: undefined group %u", id_, gid));
+  }
+  return *g;
+}
+
+LayerStats* Core::layer_stats(const Instruction& in) {
+  if (in.layer_id < 0) return nullptr;
+  return &stats_.layers[in.layer_id];
+}
+
+// --------------------------------------------------------------- dispatch
+
+sim::Process Core::dispatch_proc() {
+  size_t pc = 0;
+  while (pc < program_.code.size()) {
+    const Instruction& in = program_.code[pc];
+    co_await clock_.cycles(cfg_.core.fetch_decode_cycles);
+    while (rob_.size() >= cfg_.core.rob_size) {
+      ++my_stats_.rob_full_stalls;
+      co_await rob_slot_freed_;
+    }
+    RobEntry entry;
+    entry.instr = &in;
+    entry.order = next_order_++;
+    entry.is_branch = in.op == Opcode::JMP || in.op == Opcode::BEQ || in.op == Opcode::BNE ||
+                      in.op == Opcode::BLT || in.op == Opcode::BGE;
+    fill_hazard_info(entry);
+    rob_.push_back(entry);
+    request_scan();
+    if (in.op == Opcode::HALT) break;
+    if (entry.is_branch) {
+      // The front end stalls until the branch resolves (no speculation).
+      co_await branch_resolved_;
+      pc = branch_target_ >= 0 ? static_cast<size_t>(branch_target_) : pc + 1;
+    } else {
+      ++pc;
+    }
+  }
+  dispatch_done_ = true;
+  request_scan();
+}
+
+void Core::fill_hazard_info(RobEntry& e) const {
+  const Instruction& in = *e.instr;
+  auto read = [&e](uint32_t addr, uint64_t bytes) {
+    if (bytes) e.reads[e.read_count++] = Range{addr, bytes};
+  };
+  auto write = [&e](uint32_t addr, uint64_t bytes) { e.write = Range{addr, bytes}; };
+  const uint64_t ds = isa::dtype_size(in.dtype);
+  switch (in.cls()) {
+    case InstrClass::Matrix: {
+      const GroupDef& g = group(in.group);
+      read(in.src1_addr, in.len);
+      write(in.dst_addr, 4ull * g.out_len);
+      break;
+    }
+    case InstrClass::Vector:
+      switch (in.op) {
+        case Opcode::VADD: case Opcode::VSUB: case Opcode::VMUL:
+        case Opcode::VMAX: case Opcode::VMIN:
+          read(in.src1_addr, in.len * ds);
+          read(in.src2_addr, in.len * ds);
+          write(in.dst_addr, in.len * ds);
+          break;
+        case Opcode::VSET:
+          write(in.dst_addr, in.len * ds);
+          break;
+        case Opcode::VQUANT:
+          read(in.src1_addr, in.len * 4);
+          write(in.dst_addr, in.len);
+          break;
+        case Opcode::VDEQUANT:
+          read(in.src1_addr, in.len);
+          write(in.dst_addr, in.len * 4);
+          break;
+        default:  // unary dtype-preserving
+          read(in.src1_addr, in.len * ds);
+          write(in.dst_addr, in.len * ds);
+          break;
+      }
+      break;
+    case InstrClass::Transfer:
+      switch (in.op) {
+        case Opcode::SEND: read(in.src1_addr, in.len * ds); break;
+        case Opcode::RECV: write(in.dst_addr, in.len * ds); break;
+        case Opcode::GLOAD: write(in.dst_addr, in.len * ds); break;
+        case Opcode::GSTORE: read(in.src1_addr, in.len * ds); break;
+        default: break;
+      }
+      break;
+    case InstrClass::Scalar: {
+      auto reg_bit = [](uint8_t r) { return r == 0 ? 0u : (1u << r); };
+      switch (in.op) {
+        case Opcode::LDI:
+          e.reg_writes = reg_bit(in.rd);
+          break;
+        case Opcode::SADDI:
+          e.reg_reads = reg_bit(in.rs1);
+          e.reg_writes = reg_bit(in.rd);
+          break;
+        case Opcode::JMP: case Opcode::NOP: case Opcode::HALT:
+          break;
+        case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT: case Opcode::BGE:
+          e.reg_reads = reg_bit(in.rs1) | reg_bit(in.rs2);
+          break;
+        default:  // three-register ALU
+          e.reg_reads = reg_bit(in.rs1) | reg_bit(in.rs2);
+          e.reg_writes = reg_bit(in.rd);
+          break;
+      }
+      break;
+    }
+  }
+}
+
+bool Core::hazards_clear(size_t index) const {
+  const RobEntry& e = rob_[index];
+  for (size_t j = 0; j < index; ++j) {
+    const RobEntry& o = rob_[j];
+    if (o.state == RobEntry::State::Done) continue;
+    // RAW: my reads vs their write.
+    for (int r = 0; r < e.read_count; ++r) {
+      if (e.reads[r].overlaps(o.write)) return false;
+    }
+    // WAW / WAR.
+    if (e.write.overlaps(o.write)) return false;
+    for (int r = 0; r < o.read_count; ++r) {
+      if (e.write.overlaps(o.reads[r])) return false;
+    }
+    // Registers.
+    if ((e.reg_reads & o.reg_writes) != 0) return false;
+    if ((e.reg_writes & (o.reg_reads | o.reg_writes)) != 0) return false;
+  }
+  return true;
+}
+
+void Core::request_scan() {
+  if (scan_scheduled_) return;
+  scan_scheduled_ = true;
+  kernel_.call_at(kernel_.now(), [this] {
+    scan_scheduled_ = false;
+    scan();
+  });
+}
+
+void Core::scan() {
+  // In-order retirement from the head.
+  while (!rob_.empty() && rob_.front().state == RobEntry::State::Done) {
+    rob_.pop_front();
+    ++my_stats_.instructions_retired;
+    rob_slot_freed_.notify();
+  }
+  if (rob_.empty() && dispatch_done_ && !halted_) {
+    halted_ = true;
+    my_stats_.halt_time_ps = kernel_.now();
+  }
+  // Issue: per class strictly in order; across classes, limited only by data
+  // hazards (this is the dispatch-unit conflict check of paper §III-B).
+  bool blocked_class[4] = {false, false, false, false};
+  for (size_t i = 0; i < rob_.size(); ++i) {
+    RobEntry& e = rob_[i];
+    const size_t cls = static_cast<size_t>(e.instr->cls());
+    if (e.state != RobEntry::State::Waiting) continue;
+    if (!blocked_class[cls] && hazards_clear(i)) {
+      e.state = RobEntry::State::Executing;
+      e.issue_ps = kernel_.now();
+      if (LayerStats* ls = layer_stats(*e.instr)) {
+        ls->first_issue_ps = std::min(ls->first_issue_ps, e.issue_ps);
+      }
+      switch (e.instr->cls()) {
+        case InstrClass::Matrix: kernel_.spawn(exec_matrix(e)); break;
+        case InstrClass::Vector: kernel_.spawn(exec_vector(e)); break;
+        case InstrClass::Transfer: kernel_.spawn(exec_transfer(e)); break;
+        case InstrClass::Scalar: kernel_.spawn(exec_scalar(e)); break;
+      }
+    } else {
+      blocked_class[cls] = true;
+    }
+  }
+}
+
+void Core::complete(RobEntry& e) {
+  e.state = RobEntry::State::Done;
+  const sim::Time dur = kernel_.now() - e.issue_ps;
+  if (std::ostream* trace = chip_.trace()) {
+    *trace << e.issue_ps << ' ' << kernel_.now() << " core=" << id_ << ' '
+           << isa::to_string(*e.instr) << '\n';
+  }
+  UnitStats* unit = nullptr;
+  switch (e.instr->cls()) {
+    case InstrClass::Matrix: unit = &my_stats_.matrix; break;
+    case InstrClass::Vector: unit = &my_stats_.vector; break;
+    case InstrClass::Transfer: unit = &my_stats_.transfer; break;
+    case InstrClass::Scalar: unit = &my_stats_.scalar; break;
+  }
+  ++unit->ops;
+  unit->busy_ps += dur;
+  if (LayerStats* ls = layer_stats(*e.instr)) {
+    ls->last_complete_ps = std::max(ls->last_complete_ps, kernel_.now());
+    switch (e.instr->cls()) {
+      case InstrClass::Matrix:
+        ls->matrix_busy_ps += dur;
+        ++ls->mvm_count;
+        break;
+      case InstrClass::Vector: ls->vector_busy_ps += dur; break;
+      case InstrClass::Transfer: ls->transfer_busy_ps += dur; break;
+      case InstrClass::Scalar: break;
+    }
+  }
+  request_scan();
+}
+
+// ------------------------------------------------------------------ matrix
+
+sim::Process Core::exec_matrix(RobEntry& e) {
+  const Instruction& in = *e.instr;
+  const GroupDef& g = group(in.group);
+  sim::Resource& lock = *group_locks_[in.group];
+  // Structural hazard: the group's crossbars serve one MVM at a time.
+  co_await lock.acquire();
+
+  // Read the input vector from local memory.
+  co_await lm_port_.acquire();
+  co_await kernel_.delay(lm_access_ps(in.len));
+  lm_port_.release();
+  charge_lm(in.len);
+
+  // Functional: int32 partial sums (weights empty -> timing-only zeros).
+  std::vector<int32_t> result(g.out_len, 0);
+  if (!g.weights.empty() && cfg_.sim.functional) {
+    const int8_t* src = reinterpret_cast<const int8_t*>(lm_.data() + in.src1_addr);
+    for (uint32_t k = 0; k < g.in_len; ++k) {
+      const int32_t xv = src[k];
+      if (xv == 0) continue;
+      const int8_t* wrow = g.weights.data() + size_t{k} * g.out_len;
+      for (uint32_t j = 0; j < g.out_len; ++j) result[j] += xv * wrow[j];
+    }
+  }
+
+  // Analog pipeline: bit-serial phases; array reads overlap the ADC
+  // conversions of the previous phase. The group converts on up to
+  // min(xbar_count, adc_count) parallel ADC channels; with per-crossbar ADCs
+  // each crossbar streams its own columns, with shared ADCs the columns
+  // funnel through fewer converters.
+  const auto& xb = cfg_.core.matrix.xbar;
+  const auto& adc = cfg_.core.matrix.adc;
+  const uint64_t phases = xb.phases();
+  const uint32_t adcs_for_group = std::max(1u, std::min(g.xbar_count, cfg_.core.matrix.adc_count));
+  const uint64_t adc_per_phase =
+      ceil_div<uint64_t>(ceil_div(g.out_len, adcs_for_group), adc.samples_per_cycle);
+  co_await clock_.cycles(xb.read_latency_cycles);
+  co_await adc_pool_.acquire();
+  const uint64_t steady = std::max<uint64_t>(adc_per_phase, xb.read_latency_cycles);
+  co_await clock_.cycles((phases - 1) * steady + adc_per_phase);
+  adc_pool_.release();
+
+  stats_.energy.add(Component::Xbar,
+                    static_cast<double>(phases) * xb.read_energy_pj * g.xbar_count);
+  stats_.energy.add(Component::Dac, static_cast<double>(phases) * xb.dac_energy_pj_per_row *
+                                        g.in_len * g.xbar_count);
+  stats_.energy.add(Component::Adc, static_cast<double>(phases) * adc.energy_pj_per_sample *
+                                        g.out_len);
+
+  // Write the int32 partial sums back.
+  co_await lm_port_.acquire();
+  co_await kernel_.delay(lm_access_ps(4ull * g.out_len));
+  lm_port_.release();
+  charge_lm(4ull * g.out_len);
+  if (cfg_.sim.functional) {
+    std::memcpy(lm_.data() + in.dst_addr, result.data(), result.size() * 4);
+  }
+
+  lock.release();
+  complete(e);
+}
+
+// ------------------------------------------------------------------ vector
+
+namespace {
+/// Fixed-point Q16 sigmoid/tanh used by VSIGMOID/VTANH (input and output are
+/// Q16: value = raw / 65536). Deterministic across platforms for the inputs
+/// the tests use; a hardware implementation would use a LUT of this curve.
+int32_t q16_sigmoid(int32_t x) {
+  const double v = 1.0 / (1.0 + std::exp(-static_cast<double>(x) / 65536.0));
+  return static_cast<int32_t>(std::lround(v * 65536.0));
+}
+int32_t q16_tanh(int32_t x) {
+  const double v = std::tanh(static_cast<double>(x) / 65536.0);
+  return static_cast<int32_t>(std::lround(v * 65536.0));
+}
+}  // namespace
+
+sim::Process Core::exec_vector(RobEntry& e) {
+  const Instruction& in = *e.instr;
+  const auto& vu = cfg_.core.vector;
+  co_await vector_unit_.acquire();
+
+  const uint64_t bytes_in = in.bytes_in();
+  const uint64_t bytes_out = in.bytes_out();
+  if (bytes_in) {
+    co_await lm_port_.acquire();
+    co_await kernel_.delay(lm_access_ps(bytes_in));
+    lm_port_.release();
+    charge_lm(bytes_in);
+  }
+
+  // Functional evaluation into a staging buffer (applied after the write
+  // latency below, i.e. at completion time).
+  std::vector<uint8_t> out_bytes(bytes_out);
+  if (cfg_.sim.functional) {
+    auto load1 = [&](uint32_t i) -> int64_t {
+      if (in.op == Opcode::VQUANT) {
+        int32_t v;
+        std::memcpy(&v, lm_.data() + in.src1_addr + 4ull * i, 4);
+        return v;
+      }
+      if (in.op == Opcode::VDEQUANT || in.dtype == DType::I8) {
+        return *reinterpret_cast<const int8_t*>(lm_.data() + in.src1_addr + i);
+      }
+      int32_t v;
+      std::memcpy(&v, lm_.data() + in.src1_addr + 4ull * i, 4);
+      return v;
+    };
+    auto load2 = [&](uint32_t i) -> int64_t {
+      if (in.dtype == DType::I8) {
+        return *reinterpret_cast<const int8_t*>(lm_.data() + in.src2_addr + i);
+      }
+      int32_t v;
+      std::memcpy(&v, lm_.data() + in.src2_addr + 4ull * i, 4);
+      return v;
+    };
+    // i8 destinations saturate (VQUANT saturated already; saturate_i8 is
+    // then the identity). i32 destinations store the low 32 bits.
+    const bool out_i8 =
+        in.op == Opcode::VQUANT || (in.dtype == DType::I8 && in.op != Opcode::VDEQUANT);
+    auto store = [&](uint32_t i, int64_t v) {
+      if (out_i8) {
+        out_bytes[i] = static_cast<uint8_t>(saturate_i8(v));
+      } else {
+        const int32_t w = static_cast<int32_t>(v);
+        std::memcpy(out_bytes.data() + 4ull * i, &w, 4);
+      }
+    };
+    for (uint32_t i = 0; i < in.len; ++i) {
+      int64_t v = 0;
+      switch (in.op) {
+        case Opcode::VADD: v = load1(i) + load2(i); break;
+        case Opcode::VSUB: v = load1(i) - load2(i); break;
+        case Opcode::VMUL: v = load1(i) * load2(i); break;
+        case Opcode::VMAX: v = std::max(load1(i), load2(i)); break;
+        case Opcode::VMIN: v = std::min(load1(i), load2(i)); break;
+        case Opcode::VADDI: v = load1(i) + in.imm; break;
+        case Opcode::VMULI: v = load1(i) * in.imm; break;
+        case Opcode::VSHR: v = rounded_shift_right(load1(i), in.imm); break;
+        case Opcode::VDIVI: v = (load1(i) + in.imm / 2) / in.imm; break;
+        case Opcode::VRELU: v = std::max<int64_t>(load1(i), 0); break;
+        case Opcode::VSIGMOID: v = q16_sigmoid(static_cast<int32_t>(load1(i))); break;
+        case Opcode::VTANH: v = q16_tanh(static_cast<int32_t>(load1(i))); break;
+        case Opcode::VMOV: v = load1(i); break;
+        case Opcode::VSET: v = in.imm; break;
+        case Opcode::VQUANT: v = saturate_i8(rounded_shift_right(load1(i), in.imm)); break;
+        case Opcode::VDEQUANT: v = load1(i); break;
+        default: throw std::logic_error("unhandled vector op");
+      }
+      store(i, v);
+    }
+  }
+
+  co_await clock_.cycles(vu.pipeline_latency_cycles + ceil_div<uint64_t>(in.len, vu.lanes));
+  stats_.energy.add(Component::VectorAlu, vu.energy_pj_per_element * in.len);
+
+  if (bytes_out) {
+    co_await lm_port_.acquire();
+    co_await kernel_.delay(lm_access_ps(bytes_out));
+    lm_port_.release();
+    charge_lm(bytes_out);
+    if (cfg_.sim.functional) {
+      std::memcpy(lm_.data() + in.dst_addr, out_bytes.data(), out_bytes.size());
+    }
+  }
+
+  vector_unit_.release();
+  complete(e);
+}
+
+// ---------------------------------------------------------------- transfer
+
+sim::Process Core::exec_transfer(RobEntry& e) {
+  const Instruction& in = *e.instr;
+  Noc& noc = chip_.noc();
+  const uint64_t bytes = uint64_t{in.len} * isa::dtype_size(in.dtype);
+  co_await transfer_unit_.acquire();
+
+  switch (in.op) {
+    case Opcode::SEND: {
+      // Read payload from local memory.
+      co_await lm_port_.acquire();
+      co_await kernel_.delay(lm_access_ps(bytes));
+      lm_port_.release();
+      charge_lm(bytes);
+      std::vector<uint8_t> payload(lm_.begin() + in.src1_addr,
+                                   lm_.begin() + in.src1_addr + bytes);
+
+      // Rendezvous: block until the matching RECV is posted.
+      Channel& ch = noc.channel(id_, in.core);
+      if (ch.recvs.empty()) {
+        sim::Event recv_arrived(kernel_);
+        ch.sends.push_back(Channel::PendingSend{in.tag, &recv_arrived});
+        co_await recv_arrived;
+      }
+      Channel::PendingRecv recv = ch.recvs.front();
+      ch.recvs.pop_front();
+      if (recv.tag != in.tag) {
+        PIM_LOG(Error) << strformat("core %u -> %u: tag mismatch send=%u recv=%u", id_,
+                                    in.core, in.tag, recv.tag);
+      }
+
+      const sim::Time wire_start = kernel_.now();
+      // Store-and-forward traversal, one occupied link at a time.
+      std::vector<Link*> path = noc.route(id_, in.core);
+      for (Link* l : path) {
+        co_await l->busy.acquire();
+        co_await kernel_.delay(noc.hop_ps() + noc.serialization_ps(bytes));
+        l->bytes_carried += bytes;
+        ++l->messages;
+        l->busy.release();
+      }
+      noc.charge(bytes, path.size());
+
+      // Deliver into the destination core's local memory.
+      Core& dst = chip_.core(in.core);
+      co_await dst.lm_port().acquire();
+      co_await kernel_.delay(dst.lm_access_ps(bytes));
+      dst.lm_port().release();
+      dst.charge_lm(bytes);
+      if (cfg_.sim.functional) {
+        std::memcpy(dst.lm().data() + recv.dst_addr, payload.data(), bytes);
+      }
+      my_stats_.bytes_sent += bytes;
+      dst.stats().bytes_received += bytes;
+      if (LayerStats* ls = layer_stats(in)) {
+        ls->transfer_wire_ps += kernel_.now() - wire_start;
+        ls->bytes_moved += bytes;
+      }
+      recv.delivered->notify();
+      break;
+    }
+    case Opcode::RECV: {
+      Channel& ch = noc.channel(in.core, id_);
+      sim::Event delivered(kernel_);
+      ch.recvs.push_back(Channel::PendingRecv{in.tag, in.dst_addr, bytes, &delivered});
+      if (!ch.sends.empty()) {
+        Channel::PendingSend send = ch.sends.front();
+        ch.sends.pop_front();
+        send.recv_arrived->notify();
+      }
+      co_await delivered;
+      break;
+    }
+    case Opcode::GLOAD: {
+      const uint64_t gaddr = static_cast<uint32_t>(in.imm);
+      std::vector<Link*> path = noc.route(Noc::kGlobalMemNode, id_);
+      // Request message travels to the memory port (header-only latency).
+      co_await kernel_.delay(noc.hop_ps() * path.size());
+      co_await chip_.gmem_port().acquire();
+      co_await kernel_.delay(chip_.gmem_access_ps(bytes));
+      chip_.gmem_port().release();
+      chip_.charge_gmem(bytes);
+      const sim::Time wire_start = kernel_.now();
+      for (Link* l : path) {
+        co_await l->busy.acquire();
+        co_await kernel_.delay(noc.hop_ps() + noc.serialization_ps(bytes));
+        l->bytes_carried += bytes;
+        ++l->messages;
+        l->busy.release();
+      }
+      noc.charge(bytes, path.size());
+      co_await lm_port_.acquire();
+      co_await kernel_.delay(lm_access_ps(bytes));
+      lm_port_.release();
+      charge_lm(bytes);
+      if (cfg_.sim.functional) {
+        std::vector<uint8_t> data = chip_.read_global(gaddr, bytes);
+        std::memcpy(lm_.data() + in.dst_addr, data.data(), bytes);
+      }
+      my_stats_.bytes_received += bytes;
+      if (LayerStats* ls = layer_stats(in)) {
+        ls->transfer_wire_ps += kernel_.now() - wire_start;
+        ls->bytes_moved += bytes;
+      }
+      break;
+    }
+    case Opcode::GSTORE: {
+      const uint64_t gaddr = static_cast<uint32_t>(in.imm);
+      co_await lm_port_.acquire();
+      co_await kernel_.delay(lm_access_ps(bytes));
+      lm_port_.release();
+      charge_lm(bytes);
+      std::vector<uint8_t> payload(lm_.begin() + in.src1_addr,
+                                   lm_.begin() + in.src1_addr + bytes);
+      const sim::Time wire_start = kernel_.now();
+      std::vector<Link*> path = noc.route(id_, Noc::kGlobalMemNode);
+      for (Link* l : path) {
+        co_await l->busy.acquire();
+        co_await kernel_.delay(noc.hop_ps() + noc.serialization_ps(bytes));
+        l->bytes_carried += bytes;
+        ++l->messages;
+        l->busy.release();
+      }
+      noc.charge(bytes, path.size());
+      co_await chip_.gmem_port().acquire();
+      co_await kernel_.delay(chip_.gmem_access_ps(bytes));
+      chip_.gmem_port().release();
+      chip_.charge_gmem(bytes);
+      if (cfg_.sim.functional) {
+        chip_.write_global(gaddr, payload);
+      }
+      my_stats_.bytes_sent += bytes;
+      if (LayerStats* ls = layer_stats(in)) {
+        ls->transfer_wire_ps += kernel_.now() - wire_start;
+        ls->bytes_moved += bytes;
+      }
+      break;
+    }
+    default:
+      throw std::logic_error("unhandled transfer op");
+  }
+
+  transfer_unit_.release();
+  complete(e);
+}
+
+// ------------------------------------------------------------------ scalar
+
+sim::Process Core::exec_scalar(RobEntry& e) {
+  const Instruction& in = *e.instr;
+  co_await scalar_unit_.acquire();
+  co_await clock_.cycles(cfg_.core.scalar.latency_cycles);
+  stats_.energy.add(Component::ScalarAlu, cfg_.core.scalar.energy_pj_per_op);
+
+  auto r = [this](uint8_t idx) -> int32_t { return idx == 0 ? 0 : regs_[idx]; };
+  auto wr = [this](uint8_t idx, int32_t v) {
+    if (idx != 0) regs_[idx] = v;
+  };
+  int32_t target = -1;
+  switch (in.op) {
+    case Opcode::LDI: wr(in.rd, in.imm); break;
+    case Opcode::SADD: wr(in.rd, r(in.rs1) + r(in.rs2)); break;
+    case Opcode::SSUB: wr(in.rd, r(in.rs1) - r(in.rs2)); break;
+    case Opcode::SMUL: wr(in.rd, r(in.rs1) * r(in.rs2)); break;
+    case Opcode::SADDI: wr(in.rd, r(in.rs1) + in.imm); break;
+    case Opcode::SAND: wr(in.rd, r(in.rs1) & r(in.rs2)); break;
+    case Opcode::SOR: wr(in.rd, r(in.rs1) | r(in.rs2)); break;
+    case Opcode::SXOR: wr(in.rd, r(in.rs1) ^ r(in.rs2)); break;
+    case Opcode::SSLL: wr(in.rd, r(in.rs1) << (r(in.rs2) & 31)); break;
+    case Opcode::SSRA: wr(in.rd, r(in.rs1) >> (r(in.rs2) & 31)); break;
+    case Opcode::JMP: target = in.imm; break;
+    case Opcode::BEQ: target = r(in.rs1) == r(in.rs2) ? in.imm : -1; break;
+    case Opcode::BNE: target = r(in.rs1) != r(in.rs2) ? in.imm : -1; break;
+    case Opcode::BLT: target = r(in.rs1) < r(in.rs2) ? in.imm : -1; break;
+    case Opcode::BGE: target = r(in.rs1) >= r(in.rs2) ? in.imm : -1; break;
+    case Opcode::NOP: case Opcode::HALT: break;
+    default: throw std::logic_error("unhandled scalar op");
+  }
+
+  scalar_unit_.release();
+  if (e.is_branch) {
+    branch_target_ = target;
+    branch_resolved_.notify();
+  }
+  complete(e);
+}
+
+}  // namespace pim::arch

@@ -1,0 +1,143 @@
+// Core model (paper Fig. 2b): fetch/decode -> dispatch -> re-order buffer ->
+// four execution units (matrix / vector / transfer / scalar) over a local
+// memory and a scalar register file.
+//
+// Execution model:
+//  * Instructions are fetched and dispatched in order, one per
+//    fetch_decode_cycles, into the ROB (capacity = rob_size). A full ROB
+//    stalls dispatch — this is the knob the paper sweeps in Fig. 4.
+//  * An entry issues to its unit when (a) no data hazard against any older
+//    in-flight entry remains (local-memory ranges + scalar registers, all of
+//    RAW/WAR/WAW), and (b) no older instruction of the same class is still
+//    un-issued (units process their class in program order).
+//  * Units execute concurrently; completion is out of order; retirement is
+//    in order from the ROB head.
+//  * The matrix unit admits concurrent MVMs on *different* crossbar groups;
+//    MVMs on the same group serialize on the group — the "structure hazard"
+//    the paper names as the reason ROB scaling flattens (Fig. 4).
+//  * Transfers are synchronized rendezvous through the mesh NoC (see noc.h).
+//
+// The core is also *functional*: local memory holds real bytes, units
+// compute real int8/int32 arithmetic, so simulated inference results can be
+// checked against the nn reference executor bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "arch/noc.h"
+#include "arch/stats.h"
+#include "config/arch_config.h"
+#include "isa/program.h"
+#include "sim/kernel.h"
+
+namespace pim::arch {
+
+class Chip;
+
+class Core {
+ public:
+  Core(sim::Kernel& kernel, const config::ArchConfig& cfg, uint16_t id, Chip& chip,
+       const isa::CoreProgram& program, RunStats& stats);
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  /// Spawn the dispatch process. No-op for a core with an empty program.
+  void start();
+
+  uint16_t id() const { return id_; }
+  bool halted() const { return halted_; }
+  bool started() const { return started_; }
+
+  /// Functional local memory.
+  std::vector<uint8_t>& lm() { return lm_; }
+  const std::vector<uint8_t>& lm() const { return lm_; }
+
+  /// Local-memory access port: single-ported, bandwidth-serialized. Shared
+  /// with remote senders delivering payloads into this core.
+  sim::Resource& lm_port() { return lm_port_; }
+  /// Port occupancy for an access of `bytes`, in ps (latency + serialization).
+  sim::Time lm_access_ps(uint64_t bytes) const;
+  /// Charge local-memory access energy.
+  void charge_lm(uint64_t bytes);
+
+  CoreStats& stats() { return my_stats_; }
+
+ private:
+  struct Range {
+    uint32_t addr = 0;
+    uint64_t bytes = 0;
+    bool overlaps(const Range& o) const {
+      return bytes != 0 && o.bytes != 0 && addr < o.addr + o.bytes && o.addr < addr + bytes;
+    }
+  };
+
+  struct RobEntry {
+    const isa::Instruction* instr = nullptr;
+    uint64_t order = 0;  ///< program-order sequence number
+    enum class State { Waiting, Executing, Done } state = State::Waiting;
+    Range reads[2];
+    int read_count = 0;
+    Range write;
+    uint32_t reg_reads = 0;   ///< bitmask of registers read
+    uint32_t reg_writes = 0;  ///< bitmask of registers written
+    sim::Time issue_ps = 0;
+    bool is_branch = false;
+  };
+
+  // -- processes ------------------------------------------------------------
+  sim::Process dispatch_proc();
+  sim::Process exec_matrix(RobEntry& e);
+  sim::Process exec_vector(RobEntry& e);
+  sim::Process exec_transfer(RobEntry& e);
+  sim::Process exec_scalar(RobEntry& e);
+
+  // -- ROB machinery ----------------------------------------------------------
+  void fill_hazard_info(RobEntry& e) const;
+  bool hazards_clear(size_t index) const;
+  void request_scan();
+  void scan();  ///< retire from head, then issue ready entries
+  void complete(RobEntry& e);
+
+  // -- helpers ----------------------------------------------------------------
+  const isa::GroupDef& group(uint16_t id) const;
+  LayerStats* layer_stats(const isa::Instruction& in);
+  /// Occupy this core's LM port for an access of `bytes` plus energy.
+  /// (Awaited inline from unit coroutines.)
+  // Implemented in exec processes via lm_port()/lm_access_ps()/charge_lm().
+
+  sim::Kernel& kernel_;
+  const config::ArchConfig& cfg_;
+  const uint16_t id_;
+  Chip& chip_;
+  const isa::CoreProgram& program_;
+  RunStats& stats_;
+  CoreStats& my_stats_;
+
+  sim::Clock clock_;
+  std::vector<uint8_t> lm_;
+  std::array<int32_t, 32> regs_{};
+
+  // Structural resources.
+  sim::Resource lm_port_;
+  sim::Resource vector_unit_;
+  sim::Resource transfer_unit_;
+  sim::Resource scalar_unit_;
+  sim::Resource adc_pool_;
+  std::vector<std::unique_ptr<sim::Resource>> group_locks_;  // index: group id
+
+  // ROB.
+  std::deque<RobEntry> rob_;
+  uint64_t next_order_ = 0;
+  sim::Event rob_slot_freed_;
+  sim::Event branch_resolved_;
+  int32_t branch_target_ = -1;  ///< -1 = fall-through, else new pc
+  bool scan_scheduled_ = false;
+  bool dispatch_done_ = false;
+  bool halted_ = false;
+  bool started_ = false;
+};
+
+}  // namespace pim::arch

@@ -1,0 +1,117 @@
+// Mesh network-on-chip model with synchronized (rendezvous) transfers.
+//
+// Topology: mesh_width x mesh_height routers, one per core, plus a global
+// memory port attached to router 0. Routing is dimension-ordered XY
+// (X first). Each directed link is a Resource(1): a message occupies each
+// link on its path for ceil(bytes / link_width) NoC cycles (store-and-
+// forward) plus hop_latency cycles of router traversal. Link contention
+// between concurrent messages is therefore modeled physically, not
+// statistically.
+//
+// Transfers are *synchronized* (paper §II: "transfer instructions are
+// synchronized to simplify the hardware design"): a SEND blocks until the
+// matching RECV is posted on the destination core, then the payload moves.
+// This is the mechanism behind the paper's Fig. 5 analysis — MNSIM2.0's
+// fully asynchronous, infinitely-buffered communication is the contrasting
+// idealistic model (see pim::mnsim).
+//
+// Usage from a transfer-unit coroutine:
+//   for (Link* l : noc.route(src, dst)) {
+//     co_await l->busy.acquire();
+//     co_await kernel.delay(noc.hop_ps() + noc.serialization_ps(bytes));
+//     l->busy.release();
+//   }
+//   noc.charge(bytes, path.size());
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "arch/stats.h"
+#include "config/arch_config.h"
+#include "sim/kernel.h"
+
+namespace pim::arch {
+
+/// One directed mesh link with single-message occupancy.
+struct Link {
+  explicit Link(sim::Kernel& k) : busy(k, 1) {}
+  sim::Resource busy;
+  uint64_t bytes_carried = 0;
+  uint64_t messages = 0;
+};
+
+/// Rendezvous bookkeeping for one (src core, dst core) ordered pair.
+/// Matching is FIFO per pair; tags are cross-checked at match time.
+struct Channel {
+  struct PendingSend {
+    uint16_t tag = 0;
+    sim::Event* recv_arrived = nullptr;  ///< notified when the RECV posts
+  };
+  struct PendingRecv {
+    uint16_t tag = 0;
+    uint32_t dst_addr = 0;
+    uint64_t bytes = 0;
+    sim::Event* delivered = nullptr;  ///< notified when payload is written
+  };
+  std::deque<PendingSend> sends;
+  std::deque<PendingRecv> recvs;
+};
+
+/// The chip interconnect: links, routing, rendezvous channels.
+class Noc {
+ public:
+  /// Router id of the global-memory port (attached beside router 0).
+  static constexpr uint16_t kGlobalMemNode = 0xFFFF;
+
+  Noc(sim::Kernel& kernel, const config::ArchConfig& cfg, EnergyMeter& energy);
+
+  /// XY route between two nodes as the list of traversed directed links.
+  /// Node id == core id, or kGlobalMemNode.
+  std::vector<Link*> route(uint16_t from, uint16_t to);
+
+  /// Mesh hops between two nodes (for analytic models and tests).
+  uint32_t hop_count(uint16_t from, uint16_t to) const;
+
+  Channel& channel(uint16_t src, uint16_t dst) { return channels_[key(src, dst)]; }
+
+  /// Serialization time of `bytes` through one link, in ps.
+  sim::Time serialization_ps(uint64_t bytes) const {
+    return clock_.to_ps((bytes + cfg_.noc.link_bytes_per_cycle - 1) /
+                        cfg_.noc.link_bytes_per_cycle);
+  }
+  /// Router traversal time per hop, in ps.
+  sim::Time hop_ps() const { return clock_.to_ps(cfg_.noc.hop_latency_cycles); }
+
+  /// Account energy and byte-hop statistics for a delivered message.
+  void charge(uint64_t bytes, size_t hops);
+
+  uint64_t total_byte_hops() const { return total_byte_hops_; }
+  uint64_t total_messages() const { return total_messages_; }
+
+ private:
+  static uint32_t key(uint16_t src, uint16_t dst) {
+    return (static_cast<uint32_t>(src) << 16) | dst;
+  }
+  uint16_t node_x(uint16_t id) const { return static_cast<uint16_t>(id % cfg_.mesh_width); }
+  uint16_t node_y(uint16_t id) const { return static_cast<uint16_t>(id / cfg_.mesh_width); }
+  /// Directed link from router `a` to adjacent router `b`.
+  Link& link_between(uint16_t a, uint16_t b);
+
+  sim::Kernel& kernel_;
+  const config::ArchConfig& cfg_;
+  EnergyMeter& energy_;
+  sim::Clock clock_;
+  /// links_[router][direction]; directions: 0=+x, 1=-x, 2=+y, 3=-y.
+  std::vector<std::array<std::unique_ptr<Link>, 4>> links_;
+  Link gmem_link_;
+  std::map<uint32_t, Channel> channels_;
+  uint64_t total_byte_hops_ = 0;
+  uint64_t total_messages_ = 0;
+};
+
+}  // namespace pim::arch

@@ -1,0 +1,39 @@
+#include "arch/stats.h"
+
+namespace pim::arch {
+
+const char* component_name(Component c) {
+  switch (c) {
+    case Component::Xbar: return "xbar";
+    case Component::Dac: return "dac";
+    case Component::Adc: return "adc";
+    case Component::VectorAlu: return "vector_alu";
+    case Component::ScalarAlu: return "scalar_alu";
+    case Component::LocalMemory: return "local_memory";
+    case Component::Noc: return "noc";
+    case Component::GlobalMemory: return "global_memory";
+    case Component::Static: return "static";
+    case Component::kCount: break;
+  }
+  return "?";
+}
+
+double EnergyMeter::total_pj() const {
+  double sum = 0;
+  for (double v : pj_) sum += v;
+  return sum;
+}
+
+uint64_t RunStats::total_instructions() const {
+  uint64_t n = 0;
+  for (const CoreStats& c : cores) n += c.instructions_retired;
+  return n;
+}
+
+uint64_t RunStats::total_bytes_on_noc() const {
+  uint64_t n = 0;
+  for (const CoreStats& c : cores) n += c.bytes_sent;
+  return n;
+}
+
+}  // namespace pim::arch

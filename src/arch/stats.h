@@ -1,0 +1,108 @@
+// Run statistics: latency, per-unit busy time, per-layer attribution, and
+// dynamic/static energy accounting — the "latency, power, and energy results"
+// of the paper's Fig. 1 output.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.h"
+
+namespace pim::arch {
+
+/// Energy-consuming component classes.
+enum class Component : uint8_t {
+  Xbar = 0,     ///< crossbar array reads
+  Dac,          ///< row drivers
+  Adc,          ///< column conversion
+  VectorAlu,
+  ScalarAlu,
+  LocalMemory,
+  Noc,
+  GlobalMemory,
+  Static,       ///< integrated leakage of all components
+  kCount,
+};
+
+const char* component_name(Component c);
+
+/// Dynamic + static energy accumulator (picojoules).
+class EnergyMeter {
+ public:
+  void add(Component c, double pj) { pj_[static_cast<size_t>(c)] += pj; }
+  double get(Component c) const { return pj_[static_cast<size_t>(c)]; }
+  double total_pj() const;
+  /// Add integrated leakage: power [mW] over duration [ps] -> pJ.
+  void add_static(double power_mw, sim::Time duration_ps) {
+    // 1 mW * 1 ps = 1e-3 J/s * 1e-12 s = 1e-15 J = 1e-3 pJ.
+    add(Component::Static, power_mw * static_cast<double>(duration_ps) * 1e-3);
+  }
+
+ private:
+  std::array<double, static_cast<size_t>(Component::kCount)> pj_{};
+};
+
+/// Busy-time accounting of one execution unit.
+struct UnitStats {
+  uint64_t ops = 0;
+  sim::Time busy_ps = 0;
+};
+
+/// Per-core statistics.
+struct CoreStats {
+  UnitStats matrix, vector, transfer, scalar;
+  uint64_t instructions_retired = 0;
+  uint64_t rob_full_stalls = 0;   ///< dispatch attempts blocked on a full ROB
+  sim::Time halt_time_ps = 0;     ///< time this core retired its HALT
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+};
+
+/// Per-network-layer attribution (instructions carry their layer id).
+struct LayerStats {
+  sim::Time first_issue_ps = sim::kTimeMax;
+  sim::Time last_complete_ps = 0;
+  sim::Time matrix_busy_ps = 0;
+  sim::Time vector_busy_ps = 0;
+  /// Transfer occupancy end-to-end, including synchronization wait — the
+  /// "communication latency" of the paper's §IV-B analysis.
+  sim::Time transfer_busy_ps = 0;
+  /// Pure wire/serialization time (excludes rendezvous wait).
+  sim::Time transfer_wire_ps = 0;
+  uint64_t bytes_moved = 0;
+  uint64_t mvm_count = 0;
+
+  /// Wall-clock span of the layer (pipelined layers overlap).
+  sim::Time span_ps() const {
+    return last_complete_ps > first_issue_ps ? last_complete_ps - first_issue_ps : 0;
+  }
+  /// Fraction of this layer's unit time spent in communication.
+  double comm_ratio() const {
+    const double compute = static_cast<double>(matrix_busy_ps + vector_busy_ps);
+    const double comm = static_cast<double>(transfer_busy_ps);
+    return (compute + comm) > 0 ? comm / (compute + comm) : 0.0;
+  }
+};
+
+/// Statistics of one complete simulation run.
+struct RunStats {
+  sim::Time total_ps = 0;
+  uint64_t kernel_events = 0;
+  EnergyMeter energy;
+  std::vector<CoreStats> cores;
+  std::map<int32_t, LayerStats> layers;
+
+  double total_energy_pj() const { return energy.total_pj(); }
+  double latency_ms() const { return static_cast<double>(total_ps) * 1e-9; }
+  /// Average power in mW = pJ / ps * 1e3... (1 pJ / 1 ps = 1 W).
+  double avg_power_mw() const {
+    return total_ps > 0 ? energy.total_pj() / static_cast<double>(total_ps) * 1e3 : 0.0;
+  }
+  uint64_t total_instructions() const;
+  uint64_t total_bytes_on_noc() const;
+};
+
+}  // namespace pim::arch

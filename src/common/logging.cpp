@@ -1,0 +1,56 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+
+namespace pim::log {
+
+namespace {
+std::atomic<Level> g_level{Level::Warn};
+std::mutex g_sink_mutex;
+std::ofstream g_file;
+bool g_use_file = false;
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_sink_file(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (path.empty()) {
+    g_file.close();
+    g_use_file = false;
+    return;
+  }
+  g_file.open(path, std::ios::out | std::ios::app);
+  g_use_file = g_file.is_open();
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO";
+    case Level::Warn: return "WARN";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+void emit(Level lvl, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_use_file) {
+    g_file << "[" << level_name(lvl) << "] " << message << '\n';
+    g_file.flush();
+  } else {
+    std::cerr << "[" << level_name(lvl) << "] " << message << '\n';
+  }
+}
+}  // namespace detail
+
+}  // namespace pim::log

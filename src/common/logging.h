@@ -1,0 +1,56 @@
+// Lightweight leveled logging for the PIMSIM-NN framework.
+//
+// Usage:
+//   PIM_LOG(Info) << "compiled " << n << " instructions";
+//   pim::log::set_level(pim::log::Level::Debug);
+//
+// Logging is stream-based and assembled in a temporary; a line is emitted
+// atomically on destruction of the temporary, so interleaved use from
+// multiple call sites stays line-coherent.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pim::log {
+
+enum class Level { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global minimum level; messages below it are discarded cheaply.
+void set_level(Level level);
+Level level();
+
+/// Redirect log output to a file (empty path -> stderr).
+void set_sink_file(const std::string& path);
+
+const char* level_name(Level level);
+
+namespace detail {
+void emit(Level level, const std::string& message);
+
+class LineLogger {
+ public:
+  explicit LineLogger(Level lvl) : level_(lvl) {}
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+  ~LineLogger() { emit(level_, stream_.str()); }
+
+  template <typename T>
+  LineLogger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace pim::log
+
+/// Log a single line at the given level if enabled.
+#define PIM_LOG(lvl)                                             \
+  if (::pim::log::Level::lvl < ::pim::log::level()) {            \
+  } else                                                         \
+    ::pim::log::detail::LineLogger(::pim::log::Level::lvl)

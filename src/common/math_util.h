@@ -1,0 +1,50 @@
+// Integer math helpers used by the compiler and architecture models.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+namespace pim {
+
+/// ceil(a / b) for non-negative integers; b must be > 0.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  assert(b > 0);
+  return (a + b - 1) / b;
+}
+
+/// Round `a` up to the next multiple of `b` (b > 0).
+template <typename T>
+constexpr T round_up(T a, T b) {
+  return ceil_div(a, b) * b;
+}
+
+/// True if v is a power of two (v > 0).
+constexpr bool is_pow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Saturating int8 cast used by the quantized functional model.
+constexpr int8_t saturate_i8(int64_t v) {
+  if (v > 127) return 127;
+  if (v < -128) return -128;
+  return static_cast<int8_t>(v);
+}
+
+/// Saturating int16 cast.
+constexpr int16_t saturate_i16(int64_t v) {
+  if (v > 32767) return 32767;
+  if (v < -32768) return -32768;
+  return static_cast<int16_t>(v);
+}
+
+/// Arithmetic right shift with round-to-nearest (ties away from zero),
+/// matching typical fixed-point requantization hardware.
+constexpr int64_t rounded_shift_right(int64_t v, int shift) {
+  if (shift <= 0) return v << (-shift);
+  const int64_t half = int64_t{1} << (shift - 1);
+  if (v >= 0) return (v + half) >> shift;
+  return -((-v + half) >> shift);
+}
+
+}  // namespace pim

@@ -1,0 +1,65 @@
+// Deterministic random number generation.
+//
+// All stochastic pieces of the framework (weight initialization for model-zoo
+// networks, randomized tests, workload generators) draw from SplitMix64 /
+// xoshiro256** seeded explicitly, so every run of every experiment is
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pim {
+
+/// SplitMix64 — used to seed the main generator and for cheap hashing.
+constexpr uint64_t splitmix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit constexpr Rng(uint64_t seed = 0x5EEDDEADBEEFULL) {
+    uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<uint64_t>::max(); }
+
+  constexpr uint64_t operator()() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t uniform(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>((*this)() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// int8 weight in [-w, w] — the model-zoo quantized weight initializer.
+  int8_t weight(int w = 7) { return static_cast<int8_t>(uniform(-w, w)); }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4] = {};
+};
+
+}  // namespace pim

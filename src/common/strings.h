@@ -1,0 +1,31 @@
+// Small string helpers shared across the framework.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pim {
+
+/// Split `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Split on any whitespace, dropping empty fields.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+std::string to_lower(std::string_view text);
+std::string to_upper(std::string_view text);
+
+/// Join items with `sep`.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace pim

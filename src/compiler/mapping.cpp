@@ -1,0 +1,243 @@
+#include "compiler/mapping.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/strings.h"
+
+namespace pim::compiler {
+
+const char* policy_name(MappingPolicy p) {
+  return p == MappingPolicy::UtilizationFirst ? "utilization_first" : "performance_first";
+}
+
+uint32_t LayerPlan::total_xbars() const {
+  uint32_t n = 0;
+  for (const ReplicaPlan& r : replicas) {
+    for (const GroupPlan& g : r.groups) n += g.xbar_count;
+  }
+  if (replicas.empty()) {
+    for (const GroupPlan& g : groups) n += g.xbar_count;
+  }
+  return n;
+}
+
+const LayerPlan* Mapping::find(int32_t layer) const {
+  for (const LayerPlan& lp : layers) {
+    if (lp.layer == layer) return &lp;
+  }
+  return nullptr;
+}
+
+uint32_t Mapping::shared_core_count() const {
+  uint32_t n = 0;
+  for (uint32_t c : matrix_layer_count) {
+    if (c > 1) ++n;
+  }
+  return n;
+}
+
+uint32_t Mapping::split_stripe_count() const {
+  uint32_t n = 0;
+  for (const LayerPlan& lp : layers) {
+    for (uint32_t s = 0; s < lp.stripes; ++s) {
+      uint32_t cores_of_stripe = 0;
+      for (const GroupPlan& g : lp.groups) {
+        if (g.stripe == s) ++cores_of_stripe;
+      }
+      if (cores_of_stripe > 1) ++n;
+    }
+  }
+  return n;
+}
+
+std::string Mapping::summary() const {
+  uint32_t used_cores = 0, total_xbars = 0;
+  for (uint32_t x : xbars_used) {
+    if (x > 0) ++used_cores;
+    total_xbars += x;
+  }
+  return strformat(
+      "%s: %zu matrix layers, %u crossbars on %u cores, %u multi-layer cores, "
+      "%u split stripes",
+      policy_name(policy), layers.size(), total_xbars, used_cores, shared_core_count(),
+      split_stripe_count());
+}
+
+namespace {
+
+/// Allocation cursor over the chip's crossbar pool.
+class Allocator {
+ public:
+  Allocator(const config::ArchConfig& cfg) : cfg_(cfg), free_(cfg.core_count, cfg.core.matrix.xbar_count) {}
+
+  uint32_t free_at(uint16_t core) const { return free_[core]; }
+
+  /// Take up to `want` crossbars from `core`; returns how many were taken.
+  uint32_t take(uint16_t core, uint32_t want) {
+    const uint32_t got = std::min(want, free_[core]);
+    free_[core] -= got;
+    return got;
+  }
+
+  /// First core (>= from) with any free crossbar; core_count if none.
+  uint16_t next_with_space(uint16_t from) const {
+    uint16_t c = from;
+    while (c < cfg_.core_count && free_[c] == 0) ++c;
+    return c;
+  }
+
+  /// First completely empty core (>= from); core_count if none.
+  uint16_t next_empty(uint16_t from) const {
+    uint16_t c = from;
+    while (c < cfg_.core_count && free_[c] != cfg_.core.matrix.xbar_count) ++c;
+    return c;
+  }
+
+ private:
+  const config::ArchConfig& cfg_;
+  std::vector<uint32_t> free_;
+};
+
+}  // namespace
+
+Mapping plan_mapping(const nn::Graph& graph, const config::ArchConfig& cfg,
+                     MappingPolicy policy, uint32_t max_replication) {
+  Mapping mapping;
+  mapping.policy = policy;
+  mapping.xbars_used.assign(cfg.core_count, 0);
+  mapping.matrix_layer_count.assign(cfg.core_count, 0);
+
+  const uint32_t xr = cfg.core.matrix.xbar.rows;
+  const uint32_t xc = cfg.core.matrix.xbar.cols;
+  Allocator alloc(cfg);
+  std::vector<std::set<int32_t>> layers_on_core(cfg.core_count);
+  std::vector<uint16_t> next_group_id(cfg.core_count, 0);
+
+  // `cursor` is the packing core for utilization-first; performance-first
+  // re-seeds it at a fresh core per layer.
+  uint16_t cursor = 0;
+
+  // Place one replica of `lp`'s weight matrix. Returns nullopt when the chip
+  // ran out of crossbars (the caller decides whether that is fatal — it is
+  // for replica 0, best-effort for later replicas). `commit` toggles whether
+  // the allocator state may be mutated irreversibly (replicas probe first).
+  auto place_replica = [&](const nn::Layer& l, LayerPlan& lp,
+                           bool must_succeed) -> std::optional<ReplicaPlan> {
+    ReplicaPlan rp;
+    for (uint32_t s = 0; s < lp.stripes; ++s) {
+      const uint32_t row_lo = s * xr;
+      const uint32_t row_hi = std::min(lp.rows, row_lo + xr);
+      uint32_t cb = 0;  // next column block of this stripe to place
+      while (cb < lp.col_blocks) {
+        if (policy == MappingPolicy::PerformanceFirst) {
+          // Stay on the current core until full, then next empty core.
+          if (alloc.free_at(cursor) == 0) {
+            uint16_t empty = alloc.next_empty(0);
+            cursor = empty == cfg.core_count ? alloc.next_with_space(0) : empty;
+          }
+        } else {
+          cursor = alloc.next_with_space(cursor);
+        }
+        if (cursor >= cfg.core_count) {
+          if (must_succeed) {
+            throw std::runtime_error(strformat(
+                "mapping: out of crossbars placing layer '%s' (%s)", l.name.c_str(),
+                policy_name(policy)));
+          }
+          return std::nullopt;
+        }
+        const uint32_t got = alloc.take(cursor, lp.col_blocks - cb);
+        if (got == 0) continue;  // next_with_space will advance
+        GroupPlan g;
+        g.layer = lp.layer;
+        g.stripe = s;
+        g.core = cursor;
+        g.group_id = next_group_id[cursor]++;
+        g.row_lo = row_lo;
+        g.row_hi = row_hi;
+        g.col_lo = cb * xc;
+        g.col_hi = std::min(lp.cols, (cb + got) * xc);
+        g.xbar_count = got;
+        mapping.xbars_used[cursor] += got;
+        layers_on_core[cursor].insert(lp.layer);
+        rp.groups.push_back(g);
+        cb += got;
+      }
+    }
+    rp.aggregator = rp.groups.front().core;
+    return rp;
+  };
+
+  for (int32_t id : graph.topo_order()) {
+    const nn::Layer& l = graph.layer(id);
+    if (l.type != nn::OpType::Conv && l.type != nn::OpType::FullyConnected) continue;
+
+    LayerPlan lp;
+    lp.layer = id;
+    lp.rows = static_cast<uint32_t>(l.weight_rows());
+    lp.cols = static_cast<uint32_t>(l.weight_cols());
+    lp.stripes = ceil_div(lp.rows, xr);
+    lp.col_blocks = ceil_div(lp.cols, xc);
+
+    if (policy == MappingPolicy::PerformanceFirst) {
+      // Start on a fresh core so no core mixes two layers' weights. If the
+      // chip has no empty core left, fall back to packing (with a warning) —
+      // the policy degrades gracefully instead of failing.
+      uint16_t empty = alloc.next_empty(0);
+      if (empty == cfg.core_count) {
+        PIM_LOG(Warn) << "performance-first: no empty core left for layer '" << l.name
+                      << "', falling back to packing";
+        cursor = alloc.next_with_space(0);
+      } else {
+        cursor = empty;
+      }
+    } else {
+      cursor = alloc.next_with_space(cursor);
+    }
+
+    lp.replicas.push_back(*place_replica(l, lp, /*must_succeed=*/true));
+
+    // Best-effort replication (performance-first convolutions only: FC
+    // layers run one pixel, so duplication buys nothing).
+    if (policy == MappingPolicy::PerformanceFirst && l.type == nn::OpType::Conv) {
+      const uint32_t pixels =
+          static_cast<uint32_t>(int64_t{l.out_shape.h} * l.out_shape.w);
+      const uint32_t want = std::min(max_replication, std::max(1u, pixels));
+      const uint32_t layer_xbars = lp.stripes * lp.col_blocks;
+      for (uint32_t r = 1; r < want; ++r) {
+        // Conservative feasibility probe: keep at least one empty core worth
+        // of slack so later layers can still place their first replica.
+        uint32_t free_total = 0;
+        for (uint16_t c = 0; c < cfg.core_count; ++c) free_total += alloc.free_at(c);
+        if (free_total < layer_xbars + cfg.core.matrix.xbar_count) break;
+        uint16_t empty = alloc.next_empty(0);
+        if (empty == cfg.core_count) break;
+        cursor = empty;
+        std::optional<ReplicaPlan> rp = place_replica(l, lp, /*must_succeed=*/false);
+        if (!rp.has_value()) break;
+        lp.replicas.push_back(std::move(*rp));
+      }
+    }
+
+    lp.aggregator = lp.replicas.front().aggregator;
+    lp.groups = lp.replicas.front().groups;
+    std::set<uint16_t> distinct;
+    for (const ReplicaPlan& rp : lp.replicas) {
+      for (const GroupPlan& g : rp.groups) distinct.insert(g.core);
+    }
+    lp.cores.assign(distinct.begin(), distinct.end());
+    mapping.layers.push_back(std::move(lp));
+  }
+
+  for (uint16_t c = 0; c < cfg.core_count; ++c) {
+    mapping.matrix_layer_count[c] = static_cast<uint32_t>(layers_on_core[c].size());
+  }
+  return mapping;
+}
+
+}  // namespace pim::compiler

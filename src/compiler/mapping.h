@@ -1,0 +1,101 @@
+// Weight mapping: placing each layer's weight matrix onto crossbars.
+//
+// A Conv/FC layer lowers to a K x N weight matrix (K = kernel_h*kernel_w*in_c
+// or in_features, N = out_channels). The matrix is tiled onto the crossbar
+// grid: ceil(K/xbar_rows) row *stripes* x ceil(N/xbar_cols) column blocks.
+// Tiles are assigned to cores stripe-major; the tiles of one stripe that land
+// on the same core form one *group* (paper §II): they share the stripe's
+// input slice and fire in parallel.
+//
+// Two policies (paper §III-A, the Fig. 3 comparison):
+//
+//  * utilization-first — walk layers in topological order and pack tiles
+//    tightly into the current core; when it fills up, continue on the next.
+//    Cores commonly hold several layers' weights, and a layer commonly
+//    straddles a core boundary mid-stripe (duplicating input-slice traffic).
+//
+//  * performance-first — each layer starts on a fresh, empty core, so every
+//    core holds at most one layer's weights and whole layers get dedicated
+//    execution units. Uses more cores for the same network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/arch_config.h"
+#include "nn/graph.h"
+
+namespace pim::compiler {
+
+enum class MappingPolicy { UtilizationFirst, PerformanceFirst };
+
+const char* policy_name(MappingPolicy p);
+
+/// One crossbar group as planned by the mapper: the part of `layer`'s weight
+/// matrix rows [row_lo,row_hi) x cols [col_lo,col_hi) placed on `core`.
+struct GroupPlan {
+  int32_t layer = -1;
+  uint32_t stripe = 0;
+  uint16_t core = 0;
+  uint16_t group_id = 0;  ///< id within the core's group table
+  uint32_t row_lo = 0, row_hi = 0;
+  uint32_t col_lo = 0, col_hi = 0;
+  uint32_t xbar_count = 0;
+
+  uint32_t in_len() const { return row_hi - row_lo; }
+  uint32_t out_len() const { return col_hi - col_lo; }
+};
+
+/// One replica of a layer's weights: its crossbar groups and the core that
+/// accumulates its partial sums. Weight *replication* (modeled after
+/// PIMCOMP's duplication optimization) stores R copies of a layer's matrix
+/// on disjoint crossbars so R output pixels can compute concurrently —
+/// software pipelining made possible because the ISA exposes groups.
+struct ReplicaPlan {
+  uint16_t aggregator = 0;
+  std::vector<GroupPlan> groups;  ///< ordered by (stripe, col_lo)
+};
+
+/// Placement of one matrix layer.
+struct LayerPlan {
+  int32_t layer = -1;
+  uint32_t rows = 0, cols = 0;        ///< K, N
+  uint32_t stripes = 0, col_blocks = 0;
+  uint16_t aggregator = 0;            ///< replica 0's aggregator
+  std::vector<GroupPlan> groups;      ///< replica 0's groups (compat view)
+  std::vector<ReplicaPlan> replicas;  ///< size >= 1; [0] mirrors the above
+  std::vector<uint16_t> cores;        ///< distinct cores over all replicas
+
+  uint32_t total_xbars() const;
+  uint32_t replication() const { return static_cast<uint32_t>(replicas.size()); }
+};
+
+/// Chip-wide mapping result.
+struct Mapping {
+  MappingPolicy policy = MappingPolicy::PerformanceFirst;
+  std::vector<LayerPlan> layers;            ///< matrix layers, topo order
+  std::vector<uint32_t> xbars_used;         ///< per core
+  std::vector<uint32_t> matrix_layer_count; ///< per core: distinct layers stored
+
+  const LayerPlan* find(int32_t layer) const;
+  /// Cores whose crossbars hold more than one layer's weights.
+  uint32_t shared_core_count() const;
+  /// Stripes whose groups span more than one core (input duplication).
+  uint32_t split_stripe_count() const;
+  std::string summary() const;
+};
+
+/// Plan the placement of every Conv/FC layer of `graph` (shapes must be
+/// inferred). Throws std::runtime_error when the network needs more
+/// crossbars than the chip provides.
+///
+/// `max_replication` > 1 enables weight replication under the
+/// performance-first policy: each Conv layer is duplicated up to that many
+/// times (never beyond its output-pixel count), as long as empty cores
+/// remain. Replication is best-effort — layers later in the topological
+/// order stop replicating when the chip fills up.
+Mapping plan_mapping(const nn::Graph& graph, const config::ArchConfig& cfg,
+                     MappingPolicy policy, uint32_t max_replication = 1);
+
+}  // namespace pim::compiler

@@ -1,0 +1,309 @@
+#include "isa/assembler.h"
+
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace pim::isa {
+
+namespace {
+
+[[noreturn]] void fail(size_t line, const std::string& msg) {
+  throw std::invalid_argument("asm line " + std::to_string(line) + ": " + msg);
+}
+
+/// Strip comment and whitespace; returns empty for blank lines.
+std::string_view clean(std::string_view line) {
+  size_t hash = line.find_first_of("#;");
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  return trim(line);
+}
+
+/// Parse "key=value" or bare tokens from a comma-separated operand list.
+struct Operands {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> named;
+};
+
+Operands parse_operands(std::string_view text, size_t line) {
+  Operands ops;
+  if (trim(text).empty()) return ops;
+  for (std::string& piece : split(text, ',')) {
+    std::string tok(trim(piece));
+    if (tok.empty()) fail(line, "empty operand");
+    size_t eq = tok.find('=');
+    if (eq != std::string::npos) {
+      ops.named[std::string(trim(tok.substr(0, eq)))] = std::string(trim(tok.substr(eq + 1)));
+    } else {
+      ops.positional.push_back(tok);
+    }
+  }
+  return ops;
+}
+
+int64_t parse_int(const std::string& tok, size_t line) {
+  char* end = nullptr;
+  long long v = std::strtoll(tok.c_str(), &end, 0);  // handles 0x, decimal
+  if (end == tok.c_str() || *end != '\0') fail(line, "expected a number, got '" + tok + "'");
+  return v;
+}
+
+uint8_t parse_reg(const std::string& tok, size_t line) {
+  if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R')) {
+    fail(line, "expected a register (rN), got '" + tok + "'");
+  }
+  return static_cast<uint8_t>(parse_int(tok.substr(1), line));
+}
+
+DType parse_dtype(const std::string& tok, size_t line) {
+  std::string t = to_lower(tok);
+  if (t == "i8") return DType::I8;
+  if (t == "i32") return DType::I32;
+  fail(line, "expected dtype i8|i32, got '" + tok + "'");
+}
+
+}  // namespace
+
+Program assemble(std::string_view text) {
+  Program program;
+  program.cores.emplace_back();
+  size_t current_core = 0;
+
+  struct Fixup {
+    size_t core;
+    size_t pc;
+    std::string label;
+    size_t line;
+  };
+  // Labels are scoped per core.
+  std::map<std::pair<size_t, std::string>, int32_t> labels;
+  std::vector<Fixup> fixups;
+
+  size_t line_no = 0;
+  for (std::string& raw : split(text, '\n')) {
+    ++line_no;
+    std::string_view line = clean(raw);
+    if (line.empty()) continue;
+
+    // Label definitions (possibly followed by an instruction).
+    while (true) {
+      size_t colon = line.find(':');
+      if (colon == std::string_view::npos) break;
+      std::string label(trim(line.substr(0, colon)));
+      if (label.empty() || label.find(' ') != std::string::npos) break;  // e.g. "g:0x..."
+      if (label.find("0x") == 0 || to_lower(label) == "g") break;
+      labels[{current_core, label}] =
+          static_cast<int32_t>(program.cores[current_core].code.size());
+      line = trim(line.substr(colon + 1));
+      if (line.empty()) break;
+    }
+    if (line.empty()) continue;
+
+    // Directives.
+    if (line[0] == '.') {
+      size_t sp = line.find_first_of(" \t");
+      std::string directive(line.substr(0, sp));
+      std::string rest = sp == std::string_view::npos ? "" : std::string(line.substr(sp + 1));
+      if (directive == ".core") {
+        size_t core = static_cast<size_t>(parse_int(std::string(trim(rest)), line_no));
+        while (program.cores.size() <= core) program.cores.emplace_back();
+        current_core = core;
+      } else if (directive == ".group") {
+        Operands ops = parse_operands(rest, line_no);
+        GroupDef g;
+        auto need = [&](const char* key) -> std::string {
+          auto it = ops.named.find(key);
+          if (it == ops.named.end()) fail(line_no, std::string(".group missing ") + key);
+          return it->second;
+        };
+        g.id = static_cast<uint16_t>(parse_int(need("id"), line_no));
+        g.in_len = static_cast<uint32_t>(parse_int(need("in"), line_no));
+        g.out_len = static_cast<uint32_t>(parse_int(need("out"), line_no));
+        g.xbar_count = static_cast<uint32_t>(parse_int(need("xbars"), line_no));
+        if (ops.named.count("shift")) {
+          g.out_shift = static_cast<int32_t>(parse_int(ops.named["shift"], line_no));
+        }
+        program.cores[current_core].groups.push_back(g);
+      } else if (directive == ".network") {
+        program.network_name = std::string(trim(rest));
+      } else {
+        fail(line_no, "unknown directive '" + directive + "'");
+      }
+      continue;
+    }
+
+    // Instruction: mnemonic + operands.
+    size_t sp = line.find_first_of(" \t");
+    std::string mnemonic(line.substr(0, sp));
+    std::string rest = sp == std::string_view::npos ? "" : std::string(line.substr(sp + 1));
+    Opcode op;
+    try {
+      op = opcode_from_name(mnemonic);
+    } catch (const std::invalid_argument& e) {
+      fail(line_no, e.what());
+    }
+    Operands ops = parse_operands(rest, line_no);
+    Instruction in;
+    in.op = op;
+
+    auto named_int = [&](const char* key, int64_t fallback) {
+      auto it = ops.named.find(key);
+      return it == ops.named.end() ? fallback : parse_int(it->second, line_no);
+    };
+    auto pos = [&](size_t i) -> const std::string& {
+      if (i >= ops.positional.size()) fail(line_no, "missing operand");
+      return ops.positional[i];
+    };
+
+    switch (instr_class(op)) {
+      case InstrClass::Matrix: {
+        // mvm g<id>, <dst>, <src1>, len=<n>
+        const std::string& g = pos(0);
+        if (g.empty() || (g[0] != 'g' && g[0] != 'G')) fail(line_no, "mvm expects group gN");
+        in.group = static_cast<uint16_t>(parse_int(g.substr(1), line_no));
+        in.dst_addr = static_cast<uint32_t>(parse_int(pos(1), line_no));
+        in.src1_addr = static_cast<uint32_t>(parse_int(pos(2), line_no));
+        in.len = static_cast<uint32_t>(named_int("len", 0));
+        break;
+      }
+      case InstrClass::Vector: {
+        // A trailing bare i8/i32 token selects the element type.
+        if (!ops.positional.empty() &&
+            (ops.positional.back() == "i8" || ops.positional.back() == "i32")) {
+          in.dtype = parse_dtype(ops.positional.back(), line_no);
+          ops.positional.pop_back();
+        }
+        in.dst_addr = static_cast<uint32_t>(parse_int(pos(0), line_no));
+        if (op == Opcode::VSET) {
+          in.imm = static_cast<int32_t>(named_int("imm", 0));
+        } else {
+          in.src1_addr = static_cast<uint32_t>(parse_int(pos(1), line_no));
+          if (uses_vector_imm(op)) {
+            in.imm = static_cast<int32_t>(named_int("imm", 0));
+          } else if (ops.positional.size() > 2) {
+            in.src2_addr = static_cast<uint32_t>(parse_int(pos(2), line_no));
+          }
+        }
+        in.len = static_cast<uint32_t>(named_int("len", 0));
+        break;
+      }
+      case InstrClass::Transfer: {
+        in.core = static_cast<uint16_t>(named_int("core", 0));
+        in.tag = static_cast<uint16_t>(named_int("tag", 0));
+        in.len = static_cast<uint32_t>(named_int("len", 0));
+        // dtype is the trailing bare operand if present.
+        std::vector<std::string> addrs;
+        for (const std::string& p : ops.positional) {
+          if (p == "i8" || p == "i32") {
+            in.dtype = parse_dtype(p, line_no);
+          } else {
+            addrs.push_back(p);
+          }
+        }
+        auto addr_of = [&](const std::string& tok) -> uint32_t {
+          if (starts_with(tok, "g:")) return static_cast<uint32_t>(parse_int(tok.substr(2), line_no));
+          return static_cast<uint32_t>(parse_int(tok, line_no));
+        };
+        switch (op) {
+          case Opcode::SEND:
+            if (addrs.empty()) fail(line_no, "send needs a source address");
+            in.src1_addr = addr_of(addrs[0]);
+            break;
+          case Opcode::RECV:
+            if (addrs.empty()) fail(line_no, "recv needs a destination address");
+            in.dst_addr = addr_of(addrs[0]);
+            break;
+          case Opcode::GLOAD:
+            if (addrs.size() < 2) fail(line_no, "gload needs <dst>, g:<addr>");
+            in.dst_addr = addr_of(addrs[0]);
+            in.imm = static_cast<int32_t>(addr_of(addrs[1]));
+            break;
+          case Opcode::GSTORE:
+            if (addrs.size() < 2) fail(line_no, "gstore needs g:<addr>, <src>");
+            in.imm = static_cast<int32_t>(addr_of(addrs[0]));
+            in.src1_addr = addr_of(addrs[1]);
+            break;
+          default:
+            fail(line_no, "unhandled transfer op");
+        }
+        break;
+      }
+      case InstrClass::Scalar: {
+        switch (op) {
+          case Opcode::LDI:
+            in.rd = parse_reg(pos(0), line_no);
+            in.imm = static_cast<int32_t>(parse_int(pos(1), line_no));
+            break;
+          case Opcode::SADDI:
+            in.rd = parse_reg(pos(0), line_no);
+            in.rs1 = parse_reg(pos(1), line_no);
+            in.imm = static_cast<int32_t>(parse_int(pos(2), line_no));
+            break;
+          case Opcode::JMP: {
+            const std::string& target = pos(0);
+            if (!target.empty() && (std::isdigit(static_cast<unsigned char>(target[0])) ||
+                                    target[0] == '-' || target[0] == '+')) {
+              in.imm = static_cast<int32_t>(parse_int(target, line_no));
+            } else {
+              fixups.push_back({current_core, program.cores[current_core].code.size(), target,
+                                line_no});
+            }
+            break;
+          }
+          case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT: case Opcode::BGE: {
+            in.rs1 = parse_reg(pos(0), line_no);
+            in.rs2 = parse_reg(pos(1), line_no);
+            const std::string& target = pos(2);
+            if (!target.empty() && (std::isdigit(static_cast<unsigned char>(target[0])) ||
+                                    target[0] == '-' || target[0] == '+')) {
+              in.imm = static_cast<int32_t>(parse_int(target, line_no));
+            } else {
+              fixups.push_back({current_core, program.cores[current_core].code.size(), target,
+                                line_no});
+            }
+            break;
+          }
+          case Opcode::NOP: case Opcode::HALT:
+            break;
+          default:
+            in.rd = parse_reg(pos(0), line_no);
+            in.rs1 = parse_reg(pos(1), line_no);
+            in.rs2 = parse_reg(pos(2), line_no);
+            break;
+        }
+        break;
+      }
+    }
+    program.cores[current_core].code.push_back(in);
+  }
+
+  for (const Fixup& fx : fixups) {
+    auto it = labels.find({fx.core, fx.label});
+    if (it == labels.end()) fail(fx.line, "undefined label '" + fx.label + "'");
+    program.cores[fx.core].code[fx.pc].imm = it->second;
+  }
+  return program;
+}
+
+std::string disassemble(const Program& program) {
+  std::string out;
+  if (!program.network_name.empty()) {
+    out += ".network " + program.network_name + "\n";
+  }
+  for (size_t core = 0; core < program.cores.size(); ++core) {
+    const CoreProgram& cp = program.cores[core];
+    out += strformat(".core %zu\n", core);
+    for (const GroupDef& g : cp.groups) {
+      out += strformat(".group id=%u, in=%u, out=%u, xbars=%u, shift=%d\n", g.id, g.in_len,
+                       g.out_len, g.xbar_count, g.out_shift);
+    }
+    for (const Instruction& in : cp.code) {
+      out += "  " + to_string(in) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace pim::isa

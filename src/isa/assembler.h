@@ -1,0 +1,29 @@
+// Textual assembler for the PIMSIM-NN ISA.
+//
+// The accepted grammar is the canonical disassembly format produced by
+// `isa::to_string`, extended with:
+//   * `#` and `;` line comments,
+//   * `label:` definitions and label references in branch targets,
+//   * `.group id=<n> in=<rows> out=<cols> xbars=<n> [shift=<s>]` directives
+//     declaring crossbar groups (weights cannot be expressed in text; use the
+//     JSON program format when functional weights are needed),
+//   * `.core <n>` to switch the target core of subsequent lines.
+//
+// assemble(disassemble(p)) reproduces p's code and group shapes exactly.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "isa/program.h"
+
+namespace pim::isa {
+
+/// Parse assembly text into a Program. Throws std::invalid_argument with a
+/// "line N: ..." message on syntax errors.
+Program assemble(std::string_view text);
+
+/// Render a whole program as assembly text (one `.core` section per core).
+std::string disassemble(const Program& program);
+
+}  // namespace pim::isa

@@ -1,0 +1,340 @@
+#include "isa/program.h"
+
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "config/arch_config.h"
+
+namespace pim::isa {
+
+const GroupDef* CoreProgram::find_group(uint16_t id) const {
+  for (const GroupDef& g : groups) {
+    if (g.id == id) return &g;
+  }
+  return nullptr;
+}
+
+uint32_t CoreProgram::xbars_used() const {
+  uint32_t total = 0;
+  for (const GroupDef& g : groups) total += g.xbar_count;
+  return total;
+}
+
+size_t Program::total_instructions() const {
+  size_t n = 0;
+  for (const CoreProgram& c : cores) n += c.code.size();
+  return n;
+}
+
+size_t Program::total_groups() const {
+  size_t n = 0;
+  for (const CoreProgram& c : cores) n += c.groups.size();
+  return n;
+}
+
+std::vector<std::string> Program::verify(const config::ArchConfig& cfg) const {
+  std::vector<std::string> errs;
+  auto err = [&errs](std::string msg) { errs.push_back(std::move(msg)); };
+
+  if (cores.size() > cfg.core_count) {
+    err(strformat("program uses %zu cores but architecture has %u", cores.size(),
+                  cfg.core_count));
+  }
+  const uint64_t lm_size = cfg.core.local_memory.size_bytes;
+  const uint32_t xbar_rows = cfg.core.matrix.xbar.rows;
+
+  // (src, dst, tag) -> count, for SEND/RECV pairing.
+  std::map<std::tuple<uint16_t, uint16_t, uint16_t>, int64_t> send_bytes;
+  std::map<std::tuple<uint16_t, uint16_t, uint16_t>, int64_t> recv_bytes;
+
+  for (size_t core_id = 0; core_id < cores.size(); ++core_id) {
+    const CoreProgram& cp = cores[core_id];
+    // Cores not used by this program are legitimately empty.
+    if (cp.code.empty() && cp.groups.empty() && cp.lm_init.empty()) continue;
+    auto loc = [&](size_t pc) { return strformat("core %zu pc %zu: ", core_id, pc); };
+
+    if (cp.xbars_used() > cfg.core.matrix.xbar_count) {
+      err(strformat("core %zu maps %u crossbars but only %u exist", core_id, cp.xbars_used(),
+                    cfg.core.matrix.xbar_count));
+    }
+    std::set<uint16_t> group_ids;
+    for (const GroupDef& g : cp.groups) {
+      if (!group_ids.insert(g.id).second) {
+        err(strformat("core %zu: duplicate group id %u", core_id, g.id));
+      }
+      if (g.in_len == 0 || g.out_len == 0) {
+        err(strformat("core %zu group %u: empty matrix slice", core_id, g.id));
+      }
+      if (g.in_len > xbar_rows) {
+        err(strformat("core %zu group %u: in_len %u exceeds crossbar rows %u", core_id, g.id,
+                      g.in_len, xbar_rows));
+      }
+      if (!g.weights.empty() &&
+          g.weights.size() != static_cast<size_t>(g.in_len) * g.out_len) {
+        err(strformat("core %zu group %u: weight blob size %zu != %u x %u", core_id, g.id,
+                      g.weights.size(), g.in_len, g.out_len));
+      }
+    }
+
+    if (cp.code.empty() || cp.code.back().op != Opcode::HALT) {
+      err(strformat("core %zu: program does not end with HALT", core_id));
+    }
+
+    for (const DataSegment& seg : cp.lm_init) {
+      if (seg.addr + seg.bytes.size() > lm_size) {
+        err(strformat("core %zu: data segment [0x%x, +%zu) exceeds local memory", core_id,
+                      seg.addr, seg.bytes.size()));
+      }
+    }
+
+    for (size_t pc = 0; pc < cp.code.size(); ++pc) {
+      const Instruction& in = cp.code[pc];
+      auto check_range = [&](uint32_t addr, uint64_t bytes, const char* what) {
+        if (addr + bytes > lm_size) {
+          err(loc(pc) + strformat("%s range [0x%x, +%llu) exceeds local memory (%llu bytes)",
+                                  what, addr, static_cast<unsigned long long>(bytes),
+                                  static_cast<unsigned long long>(lm_size)));
+        }
+      };
+      switch (in.cls()) {
+        case InstrClass::Matrix: {
+          const GroupDef* g = cp.find_group(in.group);
+          if (g == nullptr) {
+            err(loc(pc) + strformat("mvm references undefined group %u", in.group));
+            break;
+          }
+          if (in.len != g->in_len) {
+            err(loc(pc) + strformat("mvm len %u != group %u in_len %u", in.len, in.group,
+                                    g->in_len));
+          }
+          if (in.len == 0 || in.len > 0xFFFF) err(loc(pc) + "mvm len out of encodable range");
+          check_range(in.src1_addr, in.len, "mvm input");
+          check_range(in.dst_addr, 4ull * g->out_len, "mvm output");
+          break;
+        }
+        case InstrClass::Vector: {
+          if (in.len == 0 || in.len > 0xFFF) {
+            err(loc(pc) + strformat("vector len %u out of encodable range [1,4095]", in.len));
+          }
+          check_range(in.dst_addr, in.bytes_out(), "vector dst");
+          const uint64_t src_elem = (in.op == Opcode::VDEQUANT) ? 1 : 4;
+          if (in.op != Opcode::VSET) check_range(in.src1_addr, in.len * src_elem, "vector src1");
+          if (!uses_vector_imm(in.op) && in.op != Opcode::VRELU && in.op != Opcode::VSIGMOID &&
+              in.op != Opcode::VTANH && in.op != Opcode::VMOV && in.op != Opcode::VDEQUANT &&
+              in.op != Opcode::VSET) {
+            check_range(in.src2_addr, in.len * 4, "vector src2");
+          }
+          break;
+        }
+        case InstrClass::Transfer: {
+          const uint64_t bytes = uint64_t{in.len} * dtype_size(in.dtype);
+          if (in.op == Opcode::SEND || in.op == Opcode::RECV) {
+            if (in.len == 0 || in.len > 0xFFFF) {
+              err(loc(pc) + "transfer len out of encodable range [1,65535]");
+            }
+            if (in.core >= cfg.core_count) {
+              err(loc(pc) + strformat("transfer peer core %u out of range", in.core));
+            }
+            if (in.core == core_id) {
+              // A core's transfer unit executes one instruction at a time, so
+              // a rendezvous with oneself can never complete (the SEND holds
+              // the unit the RECV needs). Local moves use VMOV.
+              err(loc(pc) + "transfer peer is the issuing core (use vmov for local copies)");
+            }
+            if (in.op == Opcode::SEND) {
+              check_range(in.src1_addr, bytes, "send src");
+              send_bytes[{static_cast<uint16_t>(core_id), in.core, in.tag}] +=
+                  static_cast<int64_t>(bytes);
+            } else {
+              check_range(in.dst_addr, bytes, "recv dst");
+              recv_bytes[{in.core, static_cast<uint16_t>(core_id), in.tag}] +=
+                  static_cast<int64_t>(bytes);
+            }
+          } else {
+            if (in.len == 0 || in.len > 0xFFF) {
+              err(loc(pc) + "global transfer len out of encodable range [1,4095]");
+            }
+            const uint32_t local = (in.op == Opcode::GSTORE) ? in.src1_addr : in.dst_addr;
+            check_range(local, bytes, "global transfer local side");
+            const uint64_t gaddr = static_cast<uint32_t>(in.imm);
+            if (gaddr + bytes > cfg.global_memory.size_bytes) {
+              err(loc(pc) + "global transfer exceeds global memory size");
+            }
+          }
+          break;
+        }
+        case InstrClass::Scalar: {
+          const bool is_branch = in.op == Opcode::JMP || in.op == Opcode::BEQ ||
+                                 in.op == Opcode::BNE || in.op == Opcode::BLT ||
+                                 in.op == Opcode::BGE;
+          if (is_branch &&
+              (in.imm < 0 || static_cast<size_t>(in.imm) >= cp.code.size())) {
+            err(loc(pc) + strformat("branch target %d out of range", in.imm));
+          }
+          if (in.rd >= cfg.core.register_count || in.rs1 >= cfg.core.register_count ||
+              in.rs2 >= cfg.core.register_count) {
+            err(loc(pc) + "register index out of range");
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // Every SEND must have a matching RECV moving the same byte count.
+  for (const auto& [key, bytes] : send_bytes) {
+    auto it = recv_bytes.find(key);
+    const auto& [src, dst, tag] = key;
+    if (it == recv_bytes.end()) {
+      err(strformat("send core %u -> core %u tag %u has no matching recv", src, dst, tag));
+    } else if (it->second != bytes) {
+      err(strformat("send/recv byte mismatch core %u -> core %u tag %u: %lld vs %lld", src,
+                    dst, tag, static_cast<long long>(bytes),
+                    static_cast<long long>(it->second)));
+    }
+  }
+  for (const auto& [key, bytes] : recv_bytes) {
+    (void)bytes;
+    if (send_bytes.find(key) == send_bytes.end()) {
+      const auto& [src, dst, tag] = key;
+      err(strformat("recv core %u <- core %u tag %u has no matching send", dst, src, tag));
+    }
+  }
+  return errs;
+}
+
+// ------------------------------------------------------------- serialization
+
+namespace {
+json::Value instr_to_json(const Instruction& in) {
+  json::Value v;
+  v["op"] = json::Value(opcode_name(in.op));
+  if (in.dtype != DType::I8) v["dtype"] = json::Value("i32");
+  if (in.rd) v["rd"] = json::Value(in.rd);
+  if (in.rs1) v["rs1"] = json::Value(in.rs1);
+  if (in.rs2) v["rs2"] = json::Value(in.rs2);
+  if (in.imm) v["imm"] = json::Value(in.imm);
+  if (in.dst_addr) v["dst"] = json::Value(in.dst_addr);
+  if (in.src1_addr) v["src1"] = json::Value(in.src1_addr);
+  if (in.src2_addr) v["src2"] = json::Value(in.src2_addr);
+  if (in.len) v["len"] = json::Value(in.len);
+  if (in.group) v["group"] = json::Value(in.group);
+  if (in.tag) v["tag"] = json::Value(in.tag);
+  if (in.core) v["core"] = json::Value(in.core);
+  if (in.layer_id >= 0) v["layer"] = json::Value(in.layer_id);
+  return v;
+}
+
+Instruction instr_from_json(const json::Value& v) {
+  Instruction in;
+  in.op = opcode_from_name(v.at("op").as_string());
+  in.dtype = v.get_or("dtype", std::string("i8")) == "i32" ? DType::I32 : DType::I8;
+  in.rd = static_cast<uint8_t>(v.get_or("rd", 0));
+  in.rs1 = static_cast<uint8_t>(v.get_or("rs1", 0));
+  in.rs2 = static_cast<uint8_t>(v.get_or("rs2", 0));
+  in.imm = static_cast<int32_t>(v.get_or("imm", 0));
+  in.dst_addr = static_cast<uint32_t>(v.get_or("dst", 0));
+  in.src1_addr = static_cast<uint32_t>(v.get_or("src1", 0));
+  in.src2_addr = static_cast<uint32_t>(v.get_or("src2", 0));
+  in.len = static_cast<uint32_t>(v.get_or("len", 0));
+  in.group = static_cast<uint16_t>(v.get_or("group", 0));
+  in.tag = static_cast<uint16_t>(v.get_or("tag", 0));
+  in.core = static_cast<uint16_t>(v.get_or("core", 0));
+  in.layer_id = static_cast<int32_t>(v.get_or("layer", -1));
+  return in;
+}
+}  // namespace
+
+json::Value Program::to_json(bool include_weights) const {
+  json::Value v;
+  v["network"] = json::Value(network_name);
+  v["mapping_policy"] = json::Value(mapping_policy);
+  json::Array cores_json;
+  for (const CoreProgram& cp : cores) {
+    json::Value c;
+    json::Array groups_json;
+    for (const GroupDef& g : cp.groups) {
+      json::Value gj;
+      gj["id"] = json::Value(g.id);
+      gj["in_len"] = json::Value(g.in_len);
+      gj["out_len"] = json::Value(g.out_len);
+      gj["xbar_count"] = json::Value(g.xbar_count);
+      gj["out_shift"] = json::Value(g.out_shift);
+      if (include_weights && !g.weights.empty()) {
+        json::Array w;
+        w.reserve(g.weights.size());
+        for (int8_t x : g.weights) w.emplace_back(static_cast<int64_t>(x));
+        gj["weights"] = json::Value(std::move(w));
+      }
+      groups_json.push_back(std::move(gj));
+    }
+    c["groups"] = json::Value(std::move(groups_json));
+    if (!cp.lm_init.empty()) {
+      json::Array segs;
+      for (const DataSegment& seg : cp.lm_init) {
+        json::Value sj;
+        sj["addr"] = json::Value(seg.addr);
+        json::Array data;
+        data.reserve(seg.bytes.size());
+        for (uint8_t b : seg.bytes) data.emplace_back(static_cast<int64_t>(b));
+        sj["bytes"] = json::Value(std::move(data));
+        segs.push_back(std::move(sj));
+      }
+      c["lm_init"] = json::Value(std::move(segs));
+    }
+    json::Array code_json;
+    code_json.reserve(cp.code.size());
+    for (const Instruction& in : cp.code) code_json.push_back(instr_to_json(in));
+    c["code"] = json::Value(std::move(code_json));
+    cores_json.push_back(std::move(c));
+  }
+  v["cores"] = json::Value(std::move(cores_json));
+  return v;
+}
+
+Program Program::from_json(const json::Value& v) {
+  Program p;
+  p.network_name = v.get_or("network", "");
+  p.mapping_policy = v.get_or("mapping_policy", "");
+  for (const json::Value& c : v.at("cores").as_array()) {
+    CoreProgram cp;
+    for (const json::Value& gj : c.at("groups").as_array()) {
+      GroupDef g;
+      g.id = static_cast<uint16_t>(gj.at("id").as_int());
+      g.in_len = static_cast<uint32_t>(gj.at("in_len").as_int());
+      g.out_len = static_cast<uint32_t>(gj.at("out_len").as_int());
+      g.xbar_count = static_cast<uint32_t>(gj.at("xbar_count").as_int());
+      g.out_shift = static_cast<int32_t>(gj.get_or("out_shift", 0));
+      if (gj.contains("weights")) {
+        for (const json::Value& w : gj.at("weights").as_array()) {
+          g.weights.push_back(static_cast<int8_t>(w.as_int()));
+        }
+      }
+      cp.groups.push_back(std::move(g));
+    }
+    if (c.contains("lm_init")) {
+      for (const json::Value& sj : c.at("lm_init").as_array()) {
+        DataSegment seg;
+        seg.addr = static_cast<uint32_t>(sj.at("addr").as_int());
+        for (const json::Value& b : sj.at("bytes").as_array()) {
+          seg.bytes.push_back(static_cast<uint8_t>(b.as_int()));
+        }
+        cp.lm_init.push_back(std::move(seg));
+      }
+    }
+    for (const json::Value& ij : c.at("code").as_array()) {
+      cp.code.push_back(instr_from_json(ij));
+    }
+    p.cores.push_back(std::move(cp));
+  }
+  return p;
+}
+
+void Program::save(const std::string& path, bool include_weights) const {
+  json::write_file(path, to_json(include_weights), /*indent=*/-1);
+}
+
+Program Program::load(const std::string& path) { return from_json(json::parse_file(path)); }
+
+}  // namespace isa

@@ -1,0 +1,212 @@
+#include "mnsim/mnsim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace pim::mnsim {
+
+using nn::Layer;
+using nn::OpType;
+
+namespace {
+
+/// Per-pixel crossbar compute time in ns (same analog pipeline as the
+/// cycle-accurate matrix unit: bit-serial phases over per-crossbar ADCs).
+double mvm_pixel_ns(const config::ArchConfig& cfg, uint32_t cols) {
+  const auto& xb = cfg.core.matrix.xbar;
+  const auto& adc = cfg.core.matrix.adc;
+  const double cycle_ns = 1e3 / cfg.core.freq_mhz;
+  const uint64_t phases = xb.phases();
+  // Stripes run on parallel crossbars, each converting its own columns on
+  // its ADC channel; the pixel time is one crossbar's conversion pipeline.
+  const uint64_t adc_per_phase =
+      ceil_div<uint64_t>(std::min(cols, xb.cols), adc.samples_per_cycle);
+  const uint64_t cycles =
+      xb.read_latency_cycles +
+      (phases - 1) * std::max<uint64_t>(adc_per_phase, xb.read_latency_cycles) +
+      adc_per_phase;
+  return static_cast<double>(cycles) * cycle_ns;
+}
+
+/// Idealistic per-pixel communication delay (pure wire, no contention, no
+/// synchronization handshake): hops * hop_latency + one pixel's channel
+/// vector through one link.
+double comm_pixel_ns(const config::ArchConfig& cfg, uint32_t hops, uint64_t bytes) {
+  const double noc_cycle_ns = 1e3 / cfg.noc.freq_mhz;
+  const uint64_t ser = ceil_div<uint64_t>(bytes, cfg.noc.link_bytes_per_cycle);
+  return (static_cast<double>(hops) * cfg.noc.hop_latency_cycles + static_cast<double>(ser)) *
+         noc_cycle_ns;
+}
+
+/// Producer positions (raster order) a windowed op needs before output
+/// position `i` exists: whole input rows through the window bottom.
+int64_t positions_needed(const Layer& l, int64_t i) {
+  const int64_t positions_in = int64_t{l.in_shape.h} * l.in_shape.w;
+  switch (l.type) {
+    case OpType::Conv:
+    case OpType::MaxPool:
+    case OpType::AvgPool: {
+      const int64_t oy = i / l.out_shape.w;
+      const int64_t iy_max = oy * l.stride_h - l.pad_h + std::max(l.kernel_h, 1) - 1;
+      return std::clamp<int64_t>((iy_max + 1) * l.in_shape.w, 1, positions_in);
+    }
+    case OpType::FullyConnected:
+    case OpType::GlobalAvgPool:
+      return positions_in;
+    default:
+      return std::min<int64_t>(i + 1, positions_in);
+  }
+}
+
+}  // namespace
+
+Result evaluate(const nn::Graph& graph, const config::ArchConfig& cfg) {
+  Result res;
+  res.network = graph.name();
+
+  // Placement for hop distances: same performance-first plan as the
+  // cycle-accurate flow; non-matrix layers live on their producer's core.
+  compiler::Mapping mapping =
+      compiler::plan_mapping(graph, cfg, compiler::MappingPolicy::PerformanceFirst);
+  std::vector<uint16_t> home(graph.size(), 0);
+  auto hops_between = [&cfg](uint16_t a, uint16_t b) -> uint32_t {
+    const int ax = a % cfg.mesh_width, ay = a / cfg.mesh_width;
+    const int bx = b % cfg.mesh_width, by = b / cfg.mesh_width;
+    return static_cast<uint32_t>(std::abs(ax - bx) + std::abs(ay - by));
+  };
+
+  double total_energy_pj = 0;
+  std::map<int32_t, LayerResult> out;
+  // Completion time of every output position of every layer. The recurrence
+  // is the behavior-level dataflow model: a position completes t_px after
+  // (a) the previous position of the same layer (the layer's own engine is
+  // serial) and (b) the producer positions its window needs, each forwarded
+  // immediately with pure wire delay and buffered for free — MNSIM2.0's
+  // fully asynchronous communication assumption.
+  std::vector<std::vector<double>> done(graph.size());
+
+  for (int32_t id : graph.topo_order()) {
+    const Layer& l = graph.layer(id);
+    LayerResult lr;
+
+    if (l.type == OpType::Conv || l.type == OpType::FullyConnected) {
+      home[static_cast<size_t>(id)] = mapping.find(id)->aggregator;
+    } else if (l.type != OpType::Input) {
+      home[static_cast<size_t>(id)] = home[static_cast<size_t>(l.inputs[0])];
+    }
+
+    const int64_t pixels = std::max<int64_t>(1, int64_t{l.out_shape.h} * l.out_shape.w);
+
+    // Per-pixel compute time.
+    switch (l.type) {
+      case OpType::Input:
+        lr.compute_ns = 0;
+        break;
+      case OpType::Conv:
+      case OpType::FullyConnected:
+        lr.compute_ns = mvm_pixel_ns(cfg, static_cast<uint32_t>(l.weight_cols()));
+        break;
+      case OpType::Relu:
+      case OpType::Flatten:
+        lr.compute_ns = 0;  // folded / free at behavior level
+        break;
+      default: {
+        const double cycle_ns = 1e3 / cfg.core.freq_mhz;
+        const int64_t window =
+            l.kernel_h > 0 ? int64_t{l.kernel_h} * l.kernel_w
+            : l.type == OpType::GlobalAvgPool ? int64_t{l.in_shape.h} * l.in_shape.w
+                                              : static_cast<int64_t>(l.inputs.size());
+        lr.compute_ns = static_cast<double>(window) *
+                        std::ceil(static_cast<double>(l.out_shape.c) /
+                                  cfg.core.vector.lanes) *
+                        cycle_ns;
+        break;
+      }
+    }
+
+    // Per-pixel communication delay from each producer.
+    std::vector<double> comm(l.inputs.size(), 0.0);
+    for (size_t pi = 0; pi < l.inputs.size(); ++pi) {
+      const Layer& p = graph.layer(l.inputs[pi]);
+      const uint32_t hops = hops_between(home[static_cast<size_t>(l.inputs[pi])],
+                                         home[static_cast<size_t>(id)]);
+      comm[pi] = comm_pixel_ns(cfg, hops, static_cast<uint64_t>(p.out_shape.c));
+      lr.comm_ns = std::max(lr.comm_ns, comm[pi]);
+    }
+
+    // Exact per-position dataflow recurrence.
+    std::vector<double>& times = done[static_cast<size_t>(id)];
+    times.resize(static_cast<size_t>(pixels));
+    double prev = 0;
+    for (int64_t i = 0; i < pixels; ++i) {
+      double ready = 0;
+      for (size_t pi = 0; pi < l.inputs.size(); ++pi) {
+        const std::vector<double>& pt = done[static_cast<size_t>(l.inputs[pi])];
+        if (pt.empty()) continue;
+        const int64_t need = positions_needed(l, i);
+        // Producers emit positions in raster order; map the needed position
+        // count onto the producer's completion timeline.
+        const size_t idx = static_cast<size_t>(
+            std::min<int64_t>(need - 1, static_cast<int64_t>(pt.size()) - 1));
+        ready = std::max(ready, pt[idx] + comm[pi]);
+      }
+      prev = std::max(prev, ready) + lr.compute_ns;
+      times[static_cast<size_t>(i)] = prev;
+    }
+    lr.first_out_ns = times.front();
+    lr.finish_ns = times.back();
+    lr.interval_ns = pixels > 1 ? (lr.finish_ns - lr.first_out_ns) /
+                                      static_cast<double>(pixels - 1)
+                                : lr.compute_ns;
+
+    // Dynamic energy: same component formulas as the cycle-accurate model.
+    if (l.type == OpType::Conv || l.type == OpType::FullyConnected) {
+      const auto& xb = cfg.core.matrix.xbar;
+      const auto& adc = cfg.core.matrix.adc;
+      const double phases = xb.phases();
+      const double K = static_cast<double>(l.weight_rows());
+      const double N = static_cast<double>(l.weight_cols());
+      const double xbars = std::ceil(K / xb.rows) * std::ceil(N / xb.cols);
+      const double px = static_cast<double>(pixels);
+      total_energy_pj += px * phases * xb.read_energy_pj * xbars;
+      total_energy_pj += px * phases * xb.dac_energy_pj_per_row * K;
+      total_energy_pj += px * phases * adc.energy_pj_per_sample * N;
+      total_energy_pj += px * (K + 4.0 * N) * cfg.core.local_memory.energy_pj_per_byte;
+    } else {
+      total_energy_pj += static_cast<double>(l.out_shape.elems()) *
+                         cfg.core.vector.energy_pj_per_element;
+    }
+    for (size_t pi = 0; pi < l.inputs.size(); ++pi) {
+      const Layer& p = graph.layer(l.inputs[pi]);
+      const uint32_t hops = hops_between(home[static_cast<size_t>(l.inputs[pi])],
+                                         home[static_cast<size_t>(id)]);
+      total_energy_pj += static_cast<double>(p.out_shape.elems()) * hops *
+                         cfg.noc.energy_pj_per_byte_hop;
+    }
+
+    out[id] = lr;
+  }
+
+  double latency_ns = 0;
+  for (const auto& [id, lr] : out) latency_ns = std::max(latency_ns, lr.finish_ns);
+
+  const auto& c = cfg.core;
+  const double static_mw =
+      (c.static_power_mw + c.vector.static_power_mw + c.local_memory.static_power_mw +
+       c.matrix.adc.static_power_mw * c.matrix.adc_count) *
+          cfg.core_count +
+      cfg.noc.router_static_power_mw * cfg.core_count + cfg.global_memory.static_power_mw;
+  total_energy_pj += static_mw * latency_ns;  // mW * ns = pJ
+
+  res.latency_ms = latency_ns * 1e-6;
+  res.energy_uj = total_energy_pj * 1e-6;
+  res.avg_power_mw = latency_ns > 0 ? total_energy_pj / latency_ns : 0;
+  res.layers = std::move(out);
+  return res;
+}
+
+}  // namespace pim::mnsim

@@ -1,0 +1,62 @@
+// MNSIM2.0-style behavior-level simulator — the Fig. 5 comparator.
+//
+// Re-implements the latency/energy model character of MNSIM2.0 (Zhu et al.,
+// GLSVLSI'20), the dataflow-based behavior-level simulator the paper compares
+// against:
+//
+//  * layers form a pixel-granular pipeline: a layer starts as soon as the
+//    input pixels its first window needs exist;
+//  * communication is **fully asynchronous and idealistic** — every produced
+//    pixel is immediately forwarded to the consumer with pure wire delay;
+//    buffers are implicitly unbounded and there is no synchronization
+//    handshake and no link contention. This is the exact assumption the
+//    paper's §IV-B analyzes ("overly idealistic ... requires an enormous
+//    buffer size and complex operation scheduling");
+//  * per-pixel compute time uses the same crossbar/ADC timing parameters as
+//    the cycle-accurate simulator, so differences between the two simulators
+//    isolate the communication model, matching the paper's methodology
+//    ("using the same crossbar configuration").
+//
+// Residual adds and concats take the max over producer arrival times — with
+// free buffering the earlier branch simply waits in storage, which is where
+// MNSIM2.0's optimism is largest (the resnet-18 row of Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "compiler/mapping.h"
+#include "config/arch_config.h"
+#include "nn/graph.h"
+
+namespace pim::mnsim {
+
+/// Per-layer analytic results.
+struct LayerResult {
+  double first_out_ns = 0;   ///< time the first output pixel exists
+  double finish_ns = 0;      ///< time the last output pixel exists
+  double interval_ns = 0;    ///< steady-state pixel interval
+  double compute_ns = 0;     ///< per-pixel compute time
+  double comm_ns = 0;        ///< per-pixel (uncontended) communication time
+  /// Communication share of a pixel's end-to-end time — MNSIM2.0's
+  /// equivalent of the paper's "communication latency ratio".
+  double comm_ratio() const {
+    return (compute_ns + comm_ns) > 0 ? comm_ns / (compute_ns + comm_ns) : 0.0;
+  }
+};
+
+struct Result {
+  std::string network;
+  double latency_ms = 0;
+  double energy_uj = 0;
+  double avg_power_mw = 0;
+  std::map<int32_t, LayerResult> layers;
+};
+
+/// Evaluate `graph` on `cfg` with MNSIM2.0's behavior-level model. Placement
+/// (which core computes which layer, hence hop distances) follows the same
+/// performance-first mapping the cycle-accurate runs use.
+Result evaluate(const nn::Graph& graph, const config::ArchConfig& cfg);
+
+}  // namespace pim::mnsim

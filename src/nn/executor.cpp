@@ -1,0 +1,232 @@
+#include "nn/executor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace pim::nn {
+
+Tensor random_input(const Shape& shape, uint64_t seed) {
+  Tensor t;
+  t.shape = shape;
+  t.data.resize(static_cast<size_t>(shape.elems()));
+  Rng rng(seed);
+  for (int8_t& v : t.data) v = static_cast<int8_t>(rng.uniform(-8, 7));
+  return t;
+}
+
+namespace kernels {
+void gemv_i8(const int8_t* w, const int8_t* x, const int32_t* bias, int64_t rows, int64_t cols,
+             int32_t shift, bool relu, int8_t* out) {
+  for (int64_t n = 0; n < cols; ++n) {
+    int64_t acc = bias != nullptr ? bias[n] : 0;
+    for (int64_t k = 0; k < rows; ++k) {
+      acc += int64_t{w[k * cols + n]} * x[k];
+    }
+    if (relu && acc < 0) acc = 0;
+    out[n] = saturate_i8(rounded_shift_right(acc, shift));
+  }
+}
+}  // namespace kernels
+
+namespace {
+
+/// Gather the im2col patch for output pixel (oy, ox) of a conv layer.
+/// Patch element order is (ky, kx, c) — matching the HWC activation layout,
+/// so each kernel row is one contiguous segment of the input. The weight
+/// matrix rows use the same order (see Graph docs).
+void gather_patch(const Tensor& in, const Layer& l, int32_t oy, int32_t ox, int8_t* patch) {
+  int64_t idx = 0;
+  for (int32_t ky = 0; ky < l.kernel_h; ++ky) {
+    for (int32_t kx = 0; kx < l.kernel_w; ++kx) {
+      const int32_t iy = oy * l.stride_h - l.pad_h + ky;
+      const int32_t ix = ox * l.stride_w - l.pad_w + kx;
+      const bool valid = iy >= 0 && iy < in.shape.h && ix >= 0 && ix < in.shape.w;
+      for (int32_t c = 0; c < in.shape.c; ++c) {
+        patch[idx++] = valid ? in.at(c, iy, ix) : int8_t{0};
+      }
+    }
+  }
+}
+
+Tensor run_conv(const Tensor& in, const Layer& l, bool fused_relu) {
+  Tensor out;
+  out.shape = l.out_shape;
+  out.data.resize(static_cast<size_t>(out.shape.elems()));
+  const int64_t rows = l.weight_rows();
+  const int64_t cols = l.weight_cols();
+  std::vector<int8_t> patch(static_cast<size_t>(rows));
+  std::vector<int8_t> pixel(static_cast<size_t>(cols));
+  for (int32_t oy = 0; oy < out.shape.h; ++oy) {
+    for (int32_t ox = 0; ox < out.shape.w; ++ox) {
+      gather_patch(in, l, oy, ox, patch.data());
+      kernels::gemv_i8(l.weights.data(), patch.data(), l.bias.data(), rows, cols, l.out_shift,
+                       fused_relu, pixel.data());
+      for (int32_t c = 0; c < out.shape.c; ++c) out.at(c, oy, ox) = pixel[static_cast<size_t>(c)];
+    }
+  }
+  return out;
+}
+
+Tensor run_fc(const Tensor& in, const Layer& l, bool fused_relu) {
+  Tensor out;
+  out.shape = l.out_shape;
+  out.data.resize(static_cast<size_t>(out.shape.elems()));
+  kernels::gemv_i8(l.weights.data(), in.data.data(), l.bias.data(), l.weight_rows(),
+                   l.weight_cols(), l.out_shift, fused_relu, out.data.data());
+  return out;
+}
+
+Tensor run_pool(const Tensor& in, const Layer& l) {
+  Tensor out;
+  out.shape = l.out_shape;
+  out.data.resize(static_cast<size_t>(out.shape.elems()));
+  const bool is_max = l.type == OpType::MaxPool;
+  // Padded positions do not contribute: max ignores them, average divides by
+  // the number of valid elements (count_include_pad = false).
+  for (int32_t c = 0; c < out.shape.c; ++c) {
+    for (int32_t oy = 0; oy < out.shape.h; ++oy) {
+      for (int32_t ox = 0; ox < out.shape.w; ++ox) {
+        int64_t acc = is_max ? INT64_MIN : 0;
+        int64_t valid = 0;
+        for (int32_t ky = 0; ky < l.kernel_h; ++ky) {
+          for (int32_t kx = 0; kx < l.kernel_w; ++kx) {
+            const int32_t iy = oy * l.stride_h - l.pad_h + ky;
+            const int32_t ix = ox * l.stride_w - l.pad_w + kx;
+            if (iy < 0 || iy >= in.shape.h || ix < 0 || ix >= in.shape.w) continue;
+            const int8_t v = in.at(c, iy, ix);
+            acc = is_max ? std::max<int64_t>(acc, v) : acc + v;
+            ++valid;
+          }
+        }
+        out.at(c, oy, ox) = is_max ? static_cast<int8_t>(acc)
+                                   : saturate_i8((acc + valid / 2) / valid);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor run_global_avgpool(const Tensor& in, const Layer& l) {
+  Tensor out;
+  out.shape = l.out_shape;
+  out.data.resize(static_cast<size_t>(out.shape.elems()));
+  const int64_t window = int64_t{in.shape.h} * in.shape.w;
+  for (int32_t c = 0; c < in.shape.c; ++c) {
+    int64_t acc = 0;
+    for (int32_t y = 0; y < in.shape.h; ++y) {
+      for (int32_t x = 0; x < in.shape.w; ++x) acc += in.at(c, y, x);
+    }
+    out.data[static_cast<size_t>(c)] = saturate_i8((acc + window / 2) / window);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::map<int32_t, Tensor> execute_reference(const Graph& graph, const Tensor& input) {
+  std::map<int32_t, Tensor> acts;
+  auto cons = graph.consumers();
+
+  // A relu whose single producer is conv/fc is folded into the matrix op
+  // (max on the int32 accumulator before requantization) — the same fusion
+  // the compiler performs. The folded relu layer then just forwards.
+  auto is_folded_relu = [&](const Layer& l) {
+    if (l.type != OpType::Relu) return false;
+    const Layer& prod = graph.layer(l.inputs[0]);
+    if (prod.type != OpType::Conv && prod.type != OpType::FullyConnected) return false;
+    return cons[static_cast<size_t>(prod.id)].size() == 1;
+  };
+  auto has_folded_relu_consumer = [&](const Layer& l) {
+    if (l.type != OpType::Conv && l.type != OpType::FullyConnected) return false;
+    const auto& cs = cons[static_cast<size_t>(l.id)];
+    return cs.size() == 1 && graph.layer(cs[0]).type == OpType::Relu;
+  };
+
+  for (int32_t id : graph.topo_order()) {
+    const Layer& l = graph.layer(id);
+    switch (l.type) {
+      case OpType::Input: {
+        if (!(input.shape == l.out_shape)) {
+          throw std::invalid_argument("input tensor shape mismatch for '" + l.name + "'");
+        }
+        acts[id] = input;
+        break;
+      }
+      case OpType::Conv:
+        acts[id] = run_conv(acts.at(l.inputs[0]), l, has_folded_relu_consumer(l));
+        break;
+      case OpType::FullyConnected:
+        acts[id] = run_fc(acts.at(l.inputs[0]), l, has_folded_relu_consumer(l));
+        break;
+      case OpType::MaxPool:
+      case OpType::AvgPool:
+        acts[id] = run_pool(acts.at(l.inputs[0]), l);
+        break;
+      case OpType::GlobalAvgPool:
+        acts[id] = run_global_avgpool(acts.at(l.inputs[0]), l);
+        break;
+      case OpType::Relu: {
+        const Tensor& in = acts.at(l.inputs[0]);
+        if (is_folded_relu(l)) {
+          acts[id] = in;  // already applied on the accumulator
+          break;
+        }
+        Tensor out = in;
+        for (int8_t& v : out.data) v = std::max<int8_t>(v, 0);
+        acts[id] = std::move(out);
+        break;
+      }
+      case OpType::Add: {
+        const Tensor& a = acts.at(l.inputs[0]);
+        const Tensor& b = acts.at(l.inputs[1]);
+        Tensor out;
+        out.shape = l.out_shape;
+        out.data.resize(a.data.size());
+        for (size_t i = 0; i < a.data.size(); ++i) {
+          out.data[i] = saturate_i8(int64_t{a.data[i]} + b.data[i]);
+        }
+        acts[id] = std::move(out);
+        break;
+      }
+      case OpType::Concat: {
+        // HWC channel concat: per spatial position, the inputs' channel
+        // vectors are laid out back to back.
+        Tensor out;
+        out.shape = l.out_shape;
+        out.data.resize(static_cast<size_t>(out.shape.elems()));
+        const int64_t positions = int64_t{l.out_shape.h} * l.out_shape.w;
+        int64_t chan_off = 0;
+        for (int32_t in_id : l.inputs) {
+          const Tensor& t = acts.at(in_id);
+          const int32_t ci = t.shape.c;
+          for (int64_t p = 0; p < positions; ++p) {
+            std::copy_n(t.data.begin() + p * ci, ci,
+                        out.data.begin() + p * l.out_shape.c + chan_off);
+          }
+          chan_off += ci;
+        }
+        acts[id] = std::move(out);
+        break;
+      }
+      case OpType::Flatten: {
+        Tensor out = acts.at(l.inputs[0]);
+        out.shape = l.out_shape;
+        acts[id] = std::move(out);
+        break;
+      }
+    }
+  }
+  return acts;
+}
+
+Tensor execute_reference_output(const Graph& graph, const Tensor& input) {
+  auto outs = graph.outputs();
+  if (outs.size() != 1) throw std::invalid_argument("network does not have exactly one output");
+  auto acts = execute_reference(graph, input);
+  return acts.at(outs[0]);
+}
+
+}  // namespace pim::nn

@@ -1,0 +1,55 @@
+// Reference functional executor — the golden model for end-to-end tests.
+//
+// Executes a Graph on the host using the exact fixed-point semantics
+// documented in graph.h. The simulator's functional mode must produce
+// bit-identical activations; integration tests assert that.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "nn/graph.h"
+
+namespace pim::nn {
+
+/// An int8 activation tensor in **HWC** layout (channel innermost).
+///
+/// HWC is the layout the compiler assumes for activations in local memory:
+/// the channel vector of one spatial position is contiguous, so convolution
+/// patch gathers are `kernel_h` contiguous row-segment copies, pooling is
+/// element-wise ops over per-position channel vectors, and channel concat is
+/// a per-position segment copy.
+struct Tensor {
+  Shape shape;
+  std::vector<int8_t> data;  ///< size == shape.elems(), index = (y*W + x)*C + c
+
+  int8_t at(int32_t c, int32_t y, int32_t x) const {
+    return data[static_cast<size_t>((int64_t{y} * shape.w + x) * shape.c + c)];
+  }
+  int8_t& at(int32_t c, int32_t y, int32_t x) {
+    return data[static_cast<size_t>((int64_t{y} * shape.w + x) * shape.c + c)];
+  }
+};
+
+/// Deterministic random input tensor for a graph input layer.
+Tensor random_input(const Shape& shape, uint64_t seed = 7);
+
+/// Execute `graph` on `input` (single input networks). Returns the activation
+/// of every layer, indexed by layer id. Requires infer_shapes() +
+/// init_parameters() (or loaded parameters) to have run.
+std::map<int32_t, Tensor> execute_reference(const Graph& graph, const Tensor& input);
+
+/// Convenience: activation of the (single) output layer.
+Tensor execute_reference_output(const Graph& graph, const Tensor& input);
+
+/// The shared fixed-point kernels (exposed so the simulator's functional
+/// units reuse the same definitions — single source of arithmetic truth).
+namespace kernels {
+/// out[n] = sat8(round_shift(sum_k w[k*cols+n]*x[k] + bias[n], shift)),
+/// with relu applied to the accumulator first when `relu` is set.
+void gemv_i8(const int8_t* w, const int8_t* x, const int32_t* bias, int64_t rows, int64_t cols,
+             int32_t shift, bool relu, int8_t* out);
+}  // namespace kernels
+
+}  // namespace pim::nn

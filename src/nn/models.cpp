@@ -1,0 +1,276 @@
+#include "nn/models.h"
+
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace pim::nn {
+
+namespace {
+/// conv + relu, returning the relu id.
+int32_t conv_relu(Graph& g, int32_t in, int32_t ch, int32_t k, int32_t s, int32_t p,
+                  const std::string& name) {
+  int32_t c = g.add_conv(in, ch, k, s, p, name);
+  return g.add_relu(c, name + "_relu");
+}
+
+void finalize(Graph& g, const ModelOptions& opt) {
+  g.infer_shapes();
+  if (opt.init_params) g.init_parameters(opt.weight_seed);
+}
+}  // namespace
+
+// ------------------------------------------------------------------ AlexNet
+
+Graph build_alexnet(const ModelOptions& opt) {
+  Graph g("alexnet");
+  const bool big = opt.input_hw >= 128;
+  int32_t x = g.add_input({opt.input_channels, opt.input_hw, opt.input_hw});
+  if (big) {
+    x = conv_relu(g, x, 64, 11, 4, 2, "conv1");
+    x = g.add_maxpool(x, 3, 2, 0, "pool1");
+    x = conv_relu(g, x, 192, 5, 1, 2, "conv2");
+    x = g.add_maxpool(x, 3, 2, 0, "pool2");
+  } else {
+    x = conv_relu(g, x, 64, 3, 1, 1, "conv1");
+    x = g.add_maxpool(x, 2, 2, 0, "pool1");
+    x = conv_relu(g, x, 192, 3, 1, 1, "conv2");
+    x = g.add_maxpool(x, 2, 2, 0, "pool2");
+  }
+  x = conv_relu(g, x, 384, 3, 1, 1, "conv3");
+  x = conv_relu(g, x, 256, 3, 1, 1, "conv4");
+  x = conv_relu(g, x, 256, 3, 1, 1, "conv5");
+  x = g.add_maxpool(x, 2, 2, 0, "pool5");
+  x = g.add_flatten(x, "flatten");
+  const int32_t fc_dim = big ? 4096 : 1024;
+  x = g.add_fc(x, fc_dim, "fc6");
+  x = g.add_relu(x, "fc6_relu");
+  x = g.add_fc(x, fc_dim, "fc7");
+  x = g.add_relu(x, "fc7_relu");
+  g.add_fc(x, opt.num_classes, "fc8");
+  finalize(g, opt);
+  return g;
+}
+
+// --------------------------------------------------------------------- VGGs
+
+namespace {
+Graph build_vgg(const ModelOptions& opt, const std::vector<std::vector<int32_t>>& blocks,
+                int32_t fc_dim, const std::string& name) {
+  Graph g(name);
+  int32_t x = g.add_input({opt.input_channels, opt.input_hw, opt.input_hw});
+  int32_t block_i = 0;
+  for (const auto& block : blocks) {
+    int32_t conv_i = 0;
+    for (int32_t ch : block) {
+      x = conv_relu(g, x, ch, 3, 1, 1, strformat("conv%d_%d", block_i + 1, ++conv_i));
+    }
+    // Stop pooling once the spatial dim would drop below 1; with the default
+    // 32x32 input, five pools take VGG-16 to 1x1, exactly as on CIFAR.
+    x = g.add_maxpool(x, 2, 2, 0, strformat("pool%d", ++block_i));
+  }
+  x = g.add_flatten(x, "flatten");
+  x = g.add_fc(x, fc_dim, "fc1");
+  x = g.add_relu(x, "fc1_relu");
+  x = g.add_fc(x, fc_dim, "fc2");
+  x = g.add_relu(x, "fc2_relu");
+  g.add_fc(x, opt.num_classes, "fc3");
+  finalize(g, opt);
+  return g;
+}
+}  // namespace
+
+Graph build_vgg8(const ModelOptions& opt) {
+  // 5 conv + 3 fc = VGG-8 (the MNSIM2.0 bundled variant).
+  return build_vgg(opt, {{64}, {128}, {256}, {512}, {512}}, opt.input_hw >= 128 ? 4096 : 1024,
+                   "vgg8");
+}
+
+Graph build_vgg16(const ModelOptions& opt) {
+  return build_vgg(opt,
+                   {{64, 64}, {128, 128}, {256, 256, 256}, {512, 512, 512}, {512, 512, 512}},
+                   opt.input_hw >= 128 ? 4096 : 1024, "vgg16");
+}
+
+// ---------------------------------------------------------------- ResNet-18
+
+namespace {
+/// Basic residual block: two 3x3 convs; 1x1 downsample on the skip when the
+/// shape changes. `in_ch` is the block's input channel count (shapes are not
+/// inferred yet at construction time). Returns the id of the final relu.
+int32_t basic_block(Graph& g, int32_t in, int32_t in_ch, int32_t ch, int32_t stride,
+                    const std::string& name) {
+  int32_t main1 = conv_relu(g, in, ch, 3, stride, 1, name + "_conv1");
+  int32_t main2 = g.add_conv(main1, ch, 3, 1, 1, name + "_conv2");
+  int32_t skip = in;
+  if (stride != 1 || in_ch != ch) {
+    skip = g.add_conv(in, ch, 1, stride, 0, name + "_downsample");
+  }
+  int32_t sum = g.add_add(main2, skip, name + "_add");
+  return g.add_relu(sum, name + "_relu");
+}
+}  // namespace
+
+Graph build_resnet18(const ModelOptions& opt) {
+  Graph g("resnet18");
+  const bool big = opt.input_hw >= 128;
+  int32_t x = g.add_input({opt.input_channels, opt.input_hw, opt.input_hw});
+  if (big) {
+    x = conv_relu(g, x, 64, 7, 2, 3, "conv1");
+    x = g.add_maxpool(x, 3, 2, 1, "pool1");
+  } else {
+    x = conv_relu(g, x, 64, 3, 1, 1, "conv1");
+  }
+  const int32_t channels[4] = {64, 128, 256, 512};
+  int32_t cur_ch = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    const int32_t stride = stage == 0 ? 1 : 2;
+    x = basic_block(g, x, cur_ch, channels[stage], stride, strformat("layer%d_0", stage + 1));
+    x = basic_block(g, x, channels[stage], channels[stage], 1,
+                    strformat("layer%d_1", stage + 1));
+    cur_ch = channels[stage];
+  }
+  x = g.add_global_avgpool(x, "avgpool");
+  g.add_fc(x, opt.num_classes, "fc");
+  finalize(g, opt);
+  return g;
+}
+
+// ---------------------------------------------------------------- GoogLeNet
+
+namespace {
+/// Inception module: 1x1 | 1x1->3x3 | 1x1->5x5 | maxpool3x3s1p1->1x1, concat.
+int32_t inception(Graph& g, int32_t in, int32_t c1, int32_t c3r, int32_t c3, int32_t c5r,
+                  int32_t c5, int32_t cp, const std::string& name) {
+  int32_t b1 = conv_relu(g, in, c1, 1, 1, 0, name + "_b1");
+  int32_t b2 = conv_relu(g, in, c3r, 1, 1, 0, name + "_b2r");
+  b2 = conv_relu(g, b2, c3, 3, 1, 1, name + "_b2");
+  int32_t b3 = conv_relu(g, in, c5r, 1, 1, 0, name + "_b3r");
+  b3 = conv_relu(g, b3, c5, 5, 1, 2, name + "_b3");
+  int32_t b4 = g.add_maxpool(in, 3, 1, 1, name + "_b4pool");
+  b4 = conv_relu(g, b4, cp, 1, 1, 0, name + "_b4");
+  return g.add_concat({b1, b2, b3, b4}, name + "_concat");
+}
+}  // namespace
+
+Graph build_googlenet(const ModelOptions& opt) {
+  Graph g("googlenet");
+  const bool big = opt.input_hw >= 128;
+  int32_t x = g.add_input({opt.input_channels, opt.input_hw, opt.input_hw});
+  if (big) {
+    x = conv_relu(g, x, 64, 7, 2, 3, "conv1");
+    x = g.add_maxpool(x, 3, 2, 1, "pool1");
+    x = conv_relu(g, x, 64, 1, 1, 0, "conv2");
+    x = conv_relu(g, x, 192, 3, 1, 1, "conv3");
+    x = g.add_maxpool(x, 3, 2, 1, "pool2");
+  } else {
+    x = conv_relu(g, x, 64, 3, 1, 1, "conv1");
+    x = conv_relu(g, x, 64, 1, 1, 0, "conv2");
+    x = conv_relu(g, x, 192, 3, 1, 1, "conv3");
+    x = g.add_maxpool(x, 2, 2, 0, "pool2");
+  }
+  x = inception(g, x, 64, 96, 128, 16, 32, 32, "inc3a");
+  x = inception(g, x, 128, 128, 192, 32, 96, 64, "inc3b");
+  x = g.add_maxpool(x, big ? 3 : 2, 2, big ? 1 : 0, "pool3");
+  x = inception(g, x, 192, 96, 208, 16, 48, 64, "inc4a");
+  x = inception(g, x, 160, 112, 224, 24, 64, 64, "inc4b");
+  x = inception(g, x, 128, 128, 256, 24, 64, 64, "inc4c");
+  x = inception(g, x, 112, 144, 288, 32, 64, 64, "inc4d");
+  x = inception(g, x, 256, 160, 320, 32, 128, 128, "inc4e");
+  x = g.add_maxpool(x, big ? 3 : 2, 2, big ? 1 : 0, "pool4");
+  x = inception(g, x, 256, 160, 320, 32, 128, 128, "inc5a");
+  x = inception(g, x, 384, 192, 384, 48, 128, 128, "inc5b");
+  x = g.add_global_avgpool(x, "avgpool");
+  g.add_fc(x, opt.num_classes, "fc");
+  finalize(g, opt);
+  return g;
+}
+
+// --------------------------------------------------------------- SqueezeNet
+
+namespace {
+/// Fire module: squeeze 1x1 -> expand 1x1 + expand 3x3 -> concat.
+int32_t fire(Graph& g, int32_t in, int32_t s1, int32_t e1, int32_t e3,
+             const std::string& name) {
+  int32_t s = conv_relu(g, in, s1, 1, 1, 0, name + "_squeeze");
+  int32_t x1 = conv_relu(g, s, e1, 1, 1, 0, name + "_expand1");
+  int32_t x3 = conv_relu(g, s, e3, 3, 1, 1, name + "_expand3");
+  return g.add_concat({x1, x3}, name + "_concat");
+}
+}  // namespace
+
+Graph build_squeezenet(const ModelOptions& opt) {
+  Graph g("squeezenet");
+  const bool big = opt.input_hw >= 128;
+  int32_t x = g.add_input({opt.input_channels, opt.input_hw, opt.input_hw});
+  if (big) {
+    x = conv_relu(g, x, 96, 7, 2, 3, "conv1");
+    x = g.add_maxpool(x, 3, 2, 0, "pool1");
+  } else {
+    x = conv_relu(g, x, 96, 3, 1, 1, "conv1");
+    x = g.add_maxpool(x, 2, 2, 0, "pool1");
+  }
+  x = fire(g, x, 16, 64, 64, "fire2");
+  x = fire(g, x, 16, 64, 64, "fire3");
+  x = fire(g, x, 32, 128, 128, "fire4");
+  x = g.add_maxpool(x, 2, 2, 0, "pool4");
+  x = fire(g, x, 32, 128, 128, "fire5");
+  x = fire(g, x, 48, 192, 192, "fire6");
+  x = fire(g, x, 48, 192, 192, "fire7");
+  x = fire(g, x, 64, 256, 256, "fire8");
+  x = g.add_maxpool(x, 2, 2, 0, "pool8");
+  x = fire(g, x, 64, 256, 256, "fire9");
+  x = conv_relu(g, x, opt.num_classes, 1, 1, 0, "conv10");
+  g.add_global_avgpool(x, "avgpool");
+  finalize(g, opt);
+  return g;
+}
+
+// -------------------------------------------------------------- small nets
+
+Graph build_tiny_cnn(const ModelOptions& opt) {
+  Graph g("tiny_cnn");
+  int32_t x = g.add_input({opt.input_channels, opt.input_hw, opt.input_hw});
+  x = conv_relu(g, x, 8, 3, 1, 1, "conv1");
+  x = g.add_maxpool(x, 2, 2, 0, "pool1");
+  x = conv_relu(g, x, 16, 3, 1, 1, "conv2");
+  x = g.add_maxpool(x, 2, 2, 0, "pool2");
+  x = g.add_flatten(x, "flatten");
+  x = g.add_fc(x, 32, "fc1");
+  x = g.add_relu(x, "fc1_relu");
+  g.add_fc(x, opt.num_classes, "fc2");
+  finalize(g, opt);
+  return g;
+}
+
+Graph build_mlp(int32_t in_features, std::vector<int32_t> hidden, int32_t out_features,
+                uint64_t seed) {
+  Graph g("mlp");
+  int32_t x = g.add_input({in_features, 1, 1});
+  int32_t i = 0;
+  for (int32_t h : hidden) {
+    x = g.add_fc(x, h, strformat("fc%d", ++i));
+    x = g.add_relu(x, strformat("fc%d_relu", i));
+  }
+  g.add_fc(x, out_features, strformat("fc%d", ++i));
+  g.infer_shapes();
+  g.init_parameters(seed);
+  return g;
+}
+
+std::vector<std::string> model_names() {
+  return {"alexnet", "vgg8", "vgg16", "resnet18", "googlenet", "squeezenet", "tiny_cnn"};
+}
+
+Graph build_model(const std::string& name, const ModelOptions& opt) {
+  if (name == "alexnet") return build_alexnet(opt);
+  if (name == "vgg8") return build_vgg8(opt);
+  if (name == "vgg16") return build_vgg16(opt);
+  if (name == "resnet18") return build_resnet18(opt);
+  if (name == "googlenet") return build_googlenet(opt);
+  if (name == "squeezenet") return build_squeezenet(opt);
+  if (name == "tiny_cnn") return build_tiny_cnn(opt);
+  throw std::invalid_argument("unknown model '" + name + "'");
+}
+
+}  // namespace pim::nn

@@ -1,0 +1,47 @@
+// Model zoo: builders for the networks evaluated in the paper.
+//
+// §IV-A uses alexnet, googlenet, resnet18, squeezenet; §IV-B adds VGG-8 and
+// VGG-16. Builders are parameterized by input resolution. For inputs below
+// 128x128 the ImageNet stems (11x11/s4, 7x7/s2) are replaced by the standard
+// CIFAR-style stems (3x3/s1) so spatial dimensions stay positive — the same
+// adaptation MNSIM2.0's bundled network files make. Channel progressions are
+// the canonical ones.
+//
+// All networks are single-input/single-output and end in a classifier layer
+// of `num_classes` features.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+
+namespace pim::nn {
+
+struct ModelOptions {
+  int32_t input_hw = 32;      ///< input spatial resolution (square)
+  int32_t input_channels = 3;
+  int32_t num_classes = 10;
+  uint64_t weight_seed = 1;   ///< deterministic parameter initialization
+  bool init_params = true;    ///< fill weights/bias (needed for functional sim)
+};
+
+Graph build_alexnet(const ModelOptions& opt = {});
+Graph build_vgg8(const ModelOptions& opt = {});
+Graph build_vgg16(const ModelOptions& opt = {});
+Graph build_resnet18(const ModelOptions& opt = {});
+Graph build_googlenet(const ModelOptions& opt = {});
+Graph build_squeezenet(const ModelOptions& opt = {});
+
+/// Small nets for tests and the quickstart example.
+Graph build_tiny_cnn(const ModelOptions& opt = {});
+Graph build_mlp(int32_t in_features, std::vector<int32_t> hidden, int32_t out_features,
+                uint64_t seed = 1);
+
+/// Names accepted by build_model: alexnet, vgg8, vgg16, resnet18, googlenet,
+/// squeezenet, tiny_cnn.
+std::vector<std::string> model_names();
+Graph build_model(const std::string& name, const ModelOptions& opt = {});
+
+}  // namespace pim::nn

@@ -1,0 +1,119 @@
+#include "runtime/simulator.h"
+
+#include <algorithm>
+
+#include "arch/chip.h"
+#include "common/strings.h"
+
+namespace pim::runtime {
+
+std::string Report::summary() const {
+  return strformat(
+      "%s [%s]: latency %.4f ms, energy %.3f uJ, avg power %.1f mW, "
+      "%llu instructions, %llu NoC bytes, %llu kernel events%s",
+      network.c_str(), policy.c_str(), latency_ms(), energy_uj(), avg_power_mw(),
+      static_cast<unsigned long long>(stats.total_instructions()),
+      static_cast<unsigned long long>(stats.total_bytes_on_noc()),
+      static_cast<unsigned long long>(stats.kernel_events),
+      finished ? "" : "  ** DID NOT FINISH **");
+}
+
+std::string Report::layer_table(const nn::Graph& graph) const {
+  std::string out =
+      "| layer | type | span (us) | matrix (us) | vector (us) | transfer (us) | comm ratio "
+      "|\n|---|---|---|---|---|---|---|\n";
+  for (const auto& [id, ls] : stats.layers) {
+    const nn::Layer& l = graph.layer(id);
+    out += strformat("| %s | %s | %.2f | %.2f | %.2f | %.2f | %.1f%% |\n", l.name.c_str(),
+                     nn::op_name(l.type), ls.span_ps() * 1e-6, ls.matrix_busy_ps * 1e-6,
+                     ls.vector_busy_ps * 1e-6, ls.transfer_busy_ps * 1e-6,
+                     ls.comm_ratio() * 100.0);
+  }
+  return out;
+}
+
+json::Value Report::to_json() const {
+  json::Value v;
+  v["network"] = json::Value(network);
+  v["policy"] = json::Value(policy);
+  v["finished"] = json::Value(finished);
+  v["latency_ms"] = json::Value(latency_ms());
+  v["energy_uj"] = json::Value(energy_uj());
+  v["avg_power_mw"] = json::Value(avg_power_mw());
+  v["instructions"] = json::Value(stats.total_instructions());
+  v["kernel_events"] = json::Value(stats.kernel_events);
+  json::Value energy;
+  for (size_t c = 0; c < static_cast<size_t>(arch::Component::kCount); ++c) {
+    energy[arch::component_name(static_cast<arch::Component>(c))] =
+        json::Value(stats.energy.get(static_cast<arch::Component>(c)));
+  }
+  v["energy_pj_by_component"] = std::move(energy);
+  json::Value layers;
+  for (const auto& [id, ls] : stats.layers) {
+    json::Value lj;
+    lj["span_us"] = json::Value(ls.span_ps() * 1e-6);
+    lj["matrix_us"] = json::Value(ls.matrix_busy_ps * 1e-6);
+    lj["vector_us"] = json::Value(ls.vector_busy_ps * 1e-6);
+    lj["transfer_us"] = json::Value(ls.transfer_busy_ps * 1e-6);
+    lj["comm_ratio"] = json::Value(ls.comm_ratio());
+    lj["bytes_moved"] = json::Value(ls.bytes_moved);
+    lj["mvm_count"] = json::Value(ls.mvm_count);
+    layers[std::to_string(id)] = std::move(lj);
+  }
+  v["layers"] = std::move(layers);
+  return v;
+}
+
+Report simulate_program(const isa::Program& program, const config::ArchConfig& cfg,
+                        const std::vector<int8_t>* input_bytes, uint64_t input_gaddr,
+                        uint64_t output_gaddr, size_t output_elems) {
+  arch::Chip chip(cfg, program);
+  if (input_bytes != nullptr) {
+    chip.write_global(input_gaddr,
+                      std::span<const uint8_t>(
+                          reinterpret_cast<const uint8_t*>(input_bytes->data()),
+                          input_bytes->size()));
+  }
+  Report report;
+  report.network = program.network_name;
+  report.policy = program.mapping_policy;
+  report.stats = chip.run();
+  report.finished = chip.finished();
+  if (output_elems > 0) {
+    std::vector<uint8_t> raw = chip.read_global(output_gaddr, output_elems);
+    report.output.assign(raw.begin(), raw.end());
+    std::transform(raw.begin(), raw.end(), report.output.begin(),
+                   [](uint8_t b) { return static_cast<int8_t>(b); });
+  }
+  return report;
+}
+
+Report simulate_network(const nn::Graph& graph, const config::ArchConfig& cfg,
+                        const compiler::CompileOptions& copts, const nn::Tensor* input) {
+  compiler::CompileReport creport;
+  isa::Program program = compiler::compile(graph, cfg, copts, &creport);
+
+  const uint32_t batch = std::max(1u, copts.batch);
+  size_t output_elems = 0;
+  std::vector<int32_t> outs = graph.outputs();
+  if (outs.size() == 1) {
+    output_elems = static_cast<size_t>(graph.layer(outs[0]).out_shape.elems()) * batch;
+  }
+  // The same input tensor is replicated for every batch position; batched
+  // callers wanting distinct images should use simulate_program directly.
+  std::vector<int8_t> input_bytes;
+  const std::vector<int8_t>* in_ptr = nullptr;
+  if (input != nullptr) {
+    input_bytes.reserve(input->data.size() * batch);
+    for (uint32_t b = 0; b < batch; ++b) {
+      input_bytes.insert(input_bytes.end(), input->data.begin(), input->data.end());
+    }
+    in_ptr = &input_bytes;
+  }
+  Report report = simulate_program(program, cfg, in_ptr, copts.input_gaddr,
+                                   copts.output_gaddr, output_elems);
+  report.compile = std::move(creport);
+  return report;
+}
+
+}  // namespace pim::runtime

@@ -1,0 +1,58 @@
+// Runtime facade: compile-and-simulate in one call, with a consolidated
+// report (latency / energy / power, per-layer and per-core breakdowns,
+// functional network output).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/stats.h"
+#include "compiler/compiler.h"
+#include "config/arch_config.h"
+#include "isa/program.h"
+#include "nn/executor.h"
+#include "nn/graph.h"
+
+namespace pim::runtime {
+
+/// Consolidated result of one simulation.
+struct Report {
+  std::string network;
+  std::string policy;
+  bool finished = false;        ///< all cores halted (no deadlock/timeout)
+  arch::RunStats stats;
+  compiler::CompileReport compile;
+  /// Functional network output (int8), read back from global memory.
+  std::vector<int8_t> output;
+
+  double latency_ms() const { return stats.latency_ms(); }
+  double energy_uj() const { return stats.total_energy_pj() * 1e-6; }
+  double avg_power_mw() const { return stats.avg_power_mw(); }
+
+  /// Human-readable summary (one paragraph).
+  std::string summary() const;
+  /// Markdown table of per-layer statistics (latency span, busy times,
+  /// communication ratio) in layer-id order.
+  std::string layer_table(const nn::Graph& graph) const;
+  json::Value to_json() const;
+};
+
+/// End-to-end: compile `graph` under `copts`, simulate on `cfg`, return the
+/// report. When `input` is provided the run is functional and
+/// `report.output` holds the simulated network output (bit-comparable to
+/// nn::execute_reference_output).
+Report simulate_network(const nn::Graph& graph, const config::ArchConfig& cfg,
+                        const compiler::CompileOptions& copts = {},
+                        const nn::Tensor* input = nullptr);
+
+/// Simulate an already-compiled program. `input_bytes`, when provided, is
+/// written to global memory at `input_gaddr` before the run; `output_elems`
+/// bytes are read back from `output_gaddr` after it.
+Report simulate_program(const isa::Program& program, const config::ArchConfig& cfg,
+                        const std::vector<int8_t>* input_bytes = nullptr,
+                        uint64_t input_gaddr = 0, uint64_t output_gaddr = 0,
+                        size_t output_elems = 0);
+
+}  // namespace pim::runtime

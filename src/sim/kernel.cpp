@@ -1,0 +1,117 @@
+#include "sim/kernel.h"
+
+#include <cstdlib>
+#include <exception>
+
+namespace pim::sim {
+
+// ------------------------------------------------------------------ Process
+
+void Process::FinalAwaiter::await_suspend(Handle h) noexcept {
+  promise_type& promise = h.promise();
+  if (promise.kernel != nullptr) {
+    promise.kernel->on_process_finished(h);
+    // The frame belongs to the kernel once spawned; destroying here while
+    // suspended at the final suspend point is the standard fire-and-forget
+    // coroutine teardown.
+    h.destroy();
+  }
+  // If never spawned, the owning Process object destroys the frame.
+}
+
+void Process::promise_type::unhandled_exception() {
+  // A simulation process leaking an exception is a modeling bug; the kernel
+  // cannot meaningfully unwind other processes, so fail fast and loudly.
+  try {
+    std::rethrow_exception(std::current_exception());
+  } catch (const std::exception& e) {
+    PIM_LOG(Error) << "unhandled exception in simulation process: " << e.what();
+  } catch (...) {
+    PIM_LOG(Error) << "unhandled non-standard exception in simulation process";
+  }
+  std::abort();
+}
+
+// -------------------------------------------------------------------- Event
+
+void Event::notify() {
+  // Move the waiter list out first: a resumed process may immediately
+  // co_await this event again and must land in the *next* notification.
+  std::vector<std::coroutine_handle<>> woken;
+  woken.swap(waiters_);
+  for (std::coroutine_handle<> h : woken) {
+    kernel_->resume_at(kernel_->now(), h);
+  }
+}
+
+// ------------------------------------------------------------------- Kernel
+
+Kernel::~Kernel() {
+  // Destroy any still-suspended process frames so leak checkers stay quiet.
+  // Copy first: destroying a frame runs destructors which must not mutate
+  // live_ through on_process_finished (they don't — only final_suspend does —
+  // but the copy keeps iteration valid regardless).
+  std::vector<void*> frames(live_.begin(), live_.end());
+  live_.clear();
+  for (void* frame : frames) {
+    std::coroutine_handle<>::from_address(frame).destroy();
+  }
+}
+
+void Kernel::spawn(Process process) {
+  Process::Handle h = process.release();
+  if (!h) return;
+  h.promise().kernel = this;
+  live_.insert(h.address());
+  resume_at(now_, h);
+}
+
+void Kernel::call_at(Time t, std::function<void()> fn) {
+  queue_.push(Entry{t, seq_++, {}, std::move(fn)});
+}
+
+void Kernel::resume_at(Time t, std::coroutine_handle<> h) {
+  queue_.push(Entry{t, seq_++, h, {}});
+}
+
+bool Kernel::step() {
+  if (queue_.empty()) return false;
+  Entry entry = queue_.top();
+  queue_.pop();
+  now_ = entry.t;
+  ++events_executed_;
+  if (entry.h) {
+    entry.h.resume();
+  } else if (entry.fn) {
+    entry.fn();
+  }
+  return true;
+}
+
+Time Kernel::run(Time until) {
+  while (!queue_.empty() && queue_.top().t < until) {
+    step();
+  }
+  if (now_ < until && until != kTimeMax) now_ = until;
+  return now_;
+}
+
+void Kernel::on_process_finished(Process::Handle h) {
+  if (Event* done = h.promise().done) done->notify();
+  live_.erase(h.address());
+}
+
+// ----------------------------------------------------------------- Resource
+
+void Resource::release() {
+  if (!waiters_.empty()) {
+    std::coroutine_handle<> next = waiters_.front();
+    waiters_.pop_front();
+    // Hand the unit directly to the next waiter: available_ stays 0.
+    kernel_->resume_at(kernel_->now(), next);
+    return;
+  }
+  if (available_ < capacity_) ++available_;
+}
+
+}  // namespace pim::sim

@@ -1,0 +1,326 @@
+// pim::sim — a discrete-event simulation kernel.
+//
+// This module replaces the SystemC engine the paper builds on. It provides
+// the same core facilities a cycle-accurate architecture model needs:
+//
+//   * a global simulated clock (`Time`, picosecond resolution),
+//   * an ordered pending-event queue with deterministic tie-breaking
+//     (same-time events fire in schedule order),
+//   * lightweight processes written as C++20 coroutines
+//     (`Process model(...) { ...; co_await Delay{...}; ... }`),
+//   * `Event` for wait/notify synchronization (all waiters wake in the same
+//     delta, scheduled — not recursively resumed — so models cannot starve
+//     each other),
+//   * `Resource` — a counting semaphore with FIFO admission, used for
+//     structural hazards (crossbar groups, shared ADCs, NoC links),
+//   * `Clock` helpers to express cycle-quantized waits of a frequency domain.
+//
+// The kernel is single-threaded and deterministic: given the same inputs,
+// every simulation produces bit-identical results.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pim::sim {
+
+/// Simulated time in picoseconds.
+using Time = uint64_t;
+inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+
+class Kernel;
+
+// ---------------------------------------------------------------------------
+// Process: coroutine handle wrapper
+// ---------------------------------------------------------------------------
+
+/// Return type of simulation-process coroutines. A `Process` is inert until
+/// handed to `Kernel::spawn`; the kernel then resumes it at the current time
+/// and the frame self-destroys when the coroutine finishes.
+class Process {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(Handle h) noexcept;
+    void await_resume() const noexcept {}
+  };
+
+  struct promise_type {
+    Kernel* kernel = nullptr;        // set by Kernel::spawn
+    class Event* done = nullptr;     // completion event, if anyone joined
+
+    Process get_return_object() { return Process(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception();
+  };
+
+  Process() = default;
+  explicit Process(Handle h) : handle_(h) {}
+  Process(Process&& other) noexcept : handle_(other.handle_) { other.handle_ = {}; }
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = other.handle_;
+      other.handle_ = {};
+    }
+    return *this;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+ private:
+  friend class Kernel;
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle release() {
+    Handle h = handle_;
+    handle_ = {};
+    return h;
+  }
+  Handle handle_{};
+};
+
+// ---------------------------------------------------------------------------
+// Event
+// ---------------------------------------------------------------------------
+
+/// A wait/notify synchronization point. `co_await event` suspends the current
+/// process until some other process calls `notify()`. All waiters present at
+/// notify time are scheduled to resume at the current simulation time, in
+/// their wait order. Waiters that arrive after the notify wait for the next
+/// one (auto-reset semantics, like a SystemC sc_event).
+class Event {
+ public:
+  explicit Event(Kernel& kernel) : kernel_(&kernel) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  /// Wake every currently-waiting process at the current time.
+  void notify();
+
+  /// Number of processes currently blocked on this event.
+  size_t waiter_count() const { return waiters_.size(); }
+
+  struct Awaiter {
+    Event* event;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { event->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter operator co_await() { return Awaiter{this}; }
+
+ private:
+  Kernel* kernel_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// ---------------------------------------------------------------------------
+// Kernel
+// ---------------------------------------------------------------------------
+
+/// The simulation scheduler. Owns the pending-event queue and the set of live
+/// process frames.
+class Kernel {
+ public:
+  Kernel() = default;
+  ~Kernel();
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Current simulated time (ps).
+  Time now() const { return now_; }
+
+  /// Register a coroutine as a simulation process; it first runs at the
+  /// current time (after already-pending same-time events).
+  void spawn(Process process);
+
+  /// Schedule a plain callback at absolute time `t` (must be >= now()).
+  void call_at(Time t, std::function<void()> fn);
+
+  /// Schedule a coroutine resumption at absolute time `t`.
+  void resume_at(Time t, std::coroutine_handle<> h);
+
+  /// Run until the event queue drains or `until` is reached (exclusive upper
+  /// bound on event times). Returns the final simulation time.
+  Time run(Time until = kTimeMax);
+
+  /// Execute exactly one pending event. Returns false if the queue is empty.
+  bool step();
+
+  bool empty() const { return queue_.empty(); }
+  uint64_t events_executed() const { return events_executed_; }
+  size_t live_process_count() const { return live_.size(); }
+
+  /// Awaitable: suspend the calling process for `delta` picoseconds.
+  struct DelayAwaiter {
+    Kernel* kernel;
+    Time delta;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { kernel->resume_at(kernel->now_ + delta, h); }
+    void await_resume() const noexcept {}
+  };
+  DelayAwaiter delay(Time delta) { return DelayAwaiter{this, delta}; }
+
+ private:
+  friend struct Process::FinalAwaiter;
+  friend struct Process::promise_type;
+  void on_process_finished(Process::Handle h);
+
+  struct Entry {
+    Time t;
+    uint64_t seq;
+    std::coroutine_handle<> h;          // either a coroutine to resume ...
+    std::function<void()> fn;           // ... or a callback to invoke
+    bool operator>(const Entry& other) const {
+      if (t != other.t) return t > other.t;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  std::unordered_set<void*> live_;  // frames of unfinished spawned processes
+  Time now_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t events_executed_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Resource
+// ---------------------------------------------------------------------------
+
+/// Counting semaphore with FIFO admission. Models structural hazards: shared
+/// ADCs, busy crossbar groups, NoC link occupancy.
+///
+///   co_await adc.acquire();
+///   co_await kernel.delay(conversion_time);
+///   adc.release();
+///
+/// Or scoped: { auto lease = co_await adc.scoped(); ... } — note the lease
+/// releases on destruction at scope exit.
+class Resource {
+ public:
+  Resource(Kernel& kernel, uint32_t count) : kernel_(&kernel), available_(count), capacity_(count) {}
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  struct AcquireAwaiter {
+    Resource* res;
+    bool await_ready() {
+      if (res->available_ > 0) {
+        --res->available_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { res->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  AcquireAwaiter acquire() { return AcquireAwaiter{this}; }
+
+  /// Release one unit; if processes are queued, hands the unit directly to
+  /// the front waiter (scheduled at current time, FIFO order preserved).
+  void release();
+
+  uint32_t available() const { return available_; }
+  uint32_t capacity() const { return capacity_; }
+  size_t queue_length() const { return waiters_.size(); }
+  bool busy() const { return available_ == 0; }
+
+  /// RAII lease helper.
+  class Lease {
+   public:
+    explicit Lease(Resource* r) : res_(r) {}
+    Lease(Lease&& o) noexcept : res_(o.res_) { o.res_ = nullptr; }
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        reset();
+        res_ = o.res_;
+        o.res_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { reset(); }
+    void reset() {
+      if (res_) {
+        res_->release();
+        res_ = nullptr;
+      }
+    }
+
+   private:
+    Resource* res_;
+  };
+
+  struct ScopedAwaiter {
+    Resource* res;
+    AcquireAwaiter inner{res};
+    bool await_ready() { return inner.await_ready(); }
+    void await_suspend(std::coroutine_handle<> h) { inner.await_suspend(h); }
+    Lease await_resume() { return Lease(res); }
+  };
+  ScopedAwaiter scoped() { return ScopedAwaiter{this}; }
+
+ private:
+  Kernel* kernel_;
+  uint32_t available_;
+  uint32_t capacity_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// ---------------------------------------------------------------------------
+// Clock
+// ---------------------------------------------------------------------------
+
+/// A frequency domain. Converts cycles to picoseconds and provides
+/// cycle-granular waits. Models in this codebase express latencies in cycles
+/// of their domain clock and convert at the boundary.
+class Clock {
+ public:
+  /// `freq_mhz` must be > 0.
+  Clock(Kernel& kernel, double freq_mhz)
+      : kernel_(&kernel), period_ps_(static_cast<Time>(1e6 / freq_mhz + 0.5)) {}
+
+  Time period_ps() const { return period_ps_; }
+  Time to_ps(uint64_t cycles) const { return cycles * period_ps_; }
+  /// Cycles elapsed at current kernel time (floor).
+  uint64_t now_cycles() const { return kernel_->now() / period_ps_; }
+
+  /// Awaitable: wait an integral number of cycles.
+  Kernel::DelayAwaiter cycles(uint64_t n) const { return kernel_->delay(to_ps(n)); }
+
+  /// Awaitable: wait until the next rising edge (align to the cycle grid).
+  Kernel::DelayAwaiter next_edge() const {
+    Time now = kernel_->now();
+    Time next = ((now / period_ps_) + 1) * period_ps_;
+    return kernel_->delay(next - now);
+  }
+
+ private:
+  Kernel* kernel_;
+  Time period_ps_;
+};
+
+}  // namespace pim::sim

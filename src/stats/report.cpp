@@ -1,0 +1,92 @@
+#include "stats/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace pim::stats {
+
+std::vector<double> normalized(const std::vector<double>& values, double base) {
+  if (values.empty()) return {};
+  const double b = base > 0 ? base : values[0];
+  if (b <= 0) throw std::invalid_argument("normalized: non-positive base");
+  std::vector<double> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) out[i] = values[i] / b;
+  return out;
+}
+
+std::vector<double> ratio(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("ratio: size mismatch");
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = b[i] != 0 ? a[i] / b[i] : 0.0;
+  return out;
+}
+
+std::string markdown_table(const std::vector<std::string>& header,
+                           const std::vector<std::vector<std::string>>& rows) {
+  std::string out = "|";
+  for (const std::string& h : header) out += " " + h + " |";
+  out += "\n|";
+  for (size_t i = 0; i < header.size(); ++i) out += "---|";
+  out += "\n";
+  for (const auto& row : rows) {
+    out += "|";
+    for (const std::string& cell : row) out += " " + cell + " |";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string csv(const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::string out = join(header, ",") + "\n";
+  for (const auto& row : rows) out += join(row, ",") + "\n";
+  return out;
+}
+
+std::string fmt(double v) {
+  if (v == 0) return "0";
+  if (std::fabs(v) >= 1000 || std::fabs(v) < 0.001) return strformat("%.3g", v);
+  return strformat("%.3f", v);
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double log_sum = 0;
+  for (double v : values) {
+    if (v <= 0) throw std::invalid_argument("geomean: non-positive value");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::string bar_chart(const std::string& title, const std::vector<std::string>& categories,
+                      const std::vector<Series>& series, int width) {
+  double vmax = 0;
+  size_t label_w = 0;
+  for (const Series& s : series) {
+    for (double v : s.values) vmax = std::max(vmax, v);
+    label_w = std::max(label_w, s.name.size());
+  }
+  size_t cat_w = 0;
+  for (const std::string& c : categories) cat_w = std::max(cat_w, c.size());
+  if (vmax <= 0) vmax = 1;
+
+  std::string out = "== " + title + " ==\n";
+  for (size_t ci = 0; ci < categories.size(); ++ci) {
+    for (size_t si = 0; si < series.size(); ++si) {
+      const double v = ci < series[si].values.size() ? series[si].values[ci] : 0.0;
+      const int bar = static_cast<int>(std::lround(v / vmax * width));
+      out += strformat("%-*s %-*s |%s%s %s\n", static_cast<int>(cat_w),
+                       si == 0 ? categories[ci].c_str() : "", static_cast<int>(label_w),
+                       series[si].name.c_str(), std::string(static_cast<size_t>(bar), '#').c_str(),
+                       std::string(static_cast<size_t>(width - bar), ' ').c_str(),
+                       fmt(v).c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace pim::stats

@@ -1,0 +1,44 @@
+// Table / series / ASCII-figure emitters shared by the benchmark harness.
+// Every bench prints (a) the raw numbers as a markdown table and (b) the
+// paper-figure series normalized the same way the paper normalizes them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pim::stats {
+
+/// One named series of values (a bar group in a figure).
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// values / values[0] (or / base if base > 0).
+std::vector<double> normalized(const std::vector<double>& values, double base = 0.0);
+
+/// Element-wise a[i]/b[i].
+std::vector<double> ratio(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Markdown table: header row + body rows (all stringified by caller).
+std::string markdown_table(const std::vector<std::string>& header,
+                           const std::vector<std::vector<std::string>>& rows);
+
+/// CSV with header.
+std::string csv(const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+/// ASCII horizontal bar chart, one row per (category x series) pair —
+/// the terminal rendering of a paper figure.
+///   categories: x labels (e.g. network names)
+///   series:     one entry per bar color in the figure
+std::string bar_chart(const std::string& title, const std::vector<std::string>& categories,
+                      const std::vector<Series>& series, int width = 48);
+
+/// Format a double compactly (3 significant decimals).
+std::string fmt(double v);
+
+/// Geometric mean (values must be > 0).
+double geomean(const std::vector<double>& values);
+
+}  // namespace pim::stats

@@ -1,0 +1,123 @@
+// Unit tests for the architecture configuration module.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "config/arch_config.h"
+
+namespace pim::config {
+namespace {
+
+TEST(ArchConfig, DefaultsValidate) {
+  ArchConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ArchConfig, PresetsValidate) {
+  EXPECT_NO_THROW(ArchConfig::paper_default().validate());
+  EXPECT_NO_THROW(ArchConfig::mnsim_like().validate());
+  EXPECT_NO_THROW(ArchConfig::tiny().validate());
+}
+
+TEST(ArchConfig, PaperDefaultMatchesSection4A) {
+  ArchConfig cfg = ArchConfig::paper_default();
+  EXPECT_EQ(cfg.core_count, 64u);
+  EXPECT_EQ(cfg.core.matrix.xbar_count, 512u);
+  EXPECT_EQ(cfg.core.matrix.xbar.rows, 128u);
+  EXPECT_EQ(cfg.core.matrix.xbar.cols, 128u);
+  EXPECT_EQ(cfg.mesh_width * cfg.mesh_height, cfg.core_count);
+  EXPECT_EQ(cfg.total_xbars(), 64u * 512u);
+}
+
+TEST(ArchConfig, PhasesFormula) {
+  XbarConfig x;
+  x.weight_bits = 8;
+  x.cell_bits = 2;
+  x.input_bits = 8;
+  x.dac_bits = 1;
+  EXPECT_EQ(x.phases(), 4u * 8u);
+  x.cell_bits = 8;
+  x.dac_bits = 8;
+  EXPECT_EQ(x.phases(), 1u);
+  x.cell_bits = 3;  // ceil(8/3) = 3
+  EXPECT_EQ(x.phases(), 3u * 1u);
+}
+
+TEST(ArchConfig, ValidationCatchesMeshMismatch) {
+  ArchConfig cfg;
+  cfg.core_count = 10;
+  cfg.mesh_width = 3;
+  cfg.mesh_height = 3;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ArchConfig, ValidationCatchesBadUnits) {
+  ArchConfig cfg;
+  cfg.core.rob_size = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = ArchConfig();
+  cfg.core.matrix.adc_count = cfg.core.matrix.xbar_count + 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = ArchConfig();
+  cfg.core.matrix.xbar.cell_bits = 9;  // > weight_bits
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = ArchConfig();
+  cfg.noc.link_bytes_per_cycle = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = ArchConfig();
+  cfg.core.local_memory.bytes_per_cycle = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ArchConfig, JsonRoundTripPreservesEverything) {
+  ArchConfig cfg = ArchConfig::paper_default();
+  cfg.core.rob_size = 12;
+  cfg.core.matrix.xbar.read_energy_pj = 4.5;
+  cfg.noc.hop_latency_cycles = 3;
+  cfg.sim.trace_file = "trace.log";
+  cfg.sim.functional = false;
+  ArchConfig back = ArchConfig::from_json(cfg.to_json());
+  EXPECT_EQ(back.core.rob_size, 12u);
+  EXPECT_DOUBLE_EQ(back.core.matrix.xbar.read_energy_pj, 4.5);
+  EXPECT_EQ(back.noc.hop_latency_cycles, 3u);
+  EXPECT_EQ(back.sim.trace_file, "trace.log");
+  EXPECT_FALSE(back.sim.functional);
+  EXPECT_EQ(back.to_json(), cfg.to_json());
+}
+
+TEST(ArchConfig, JsonPartialOverridesKeepDefaults) {
+  json::Value v = json::parse(R"({"core_count": 16, "core": {"rob_size": 4}})");
+  ArchConfig cfg = ArchConfig::from_json(v);
+  EXPECT_EQ(cfg.core_count, 16u);
+  EXPECT_EQ(cfg.core.rob_size, 4u);
+  // Untouched fields keep defaults.
+  EXPECT_EQ(cfg.core.matrix.xbar.rows, ArchConfig().core.matrix.xbar.rows);
+}
+
+TEST(ArchConfig, MeshDerivedWhenOmitted) {
+  ArchConfig cfg = ArchConfig::from_json(json::parse(R"({"core_count": 12})"));
+  EXPECT_EQ(cfg.mesh_width * cfg.mesh_height, 12u);
+  // Squarest factorization of 12 is 4x3.
+  EXPECT_EQ(std::min(cfg.mesh_width, cfg.mesh_height), 3u);
+}
+
+TEST(ArchConfig, SaveLoadFile) {
+  const std::string path = std::filesystem::temp_directory_path() / "pim_cfg_test.json";
+  ArchConfig cfg = ArchConfig::mnsim_like();
+  cfg.save(path);
+  ArchConfig back = ArchConfig::load(path);
+  EXPECT_EQ(back.to_json(), cfg.to_json());
+  std::filesystem::remove(path);
+}
+
+TEST(ArchConfig, FromJsonValidates) {
+  EXPECT_THROW(ArchConfig::from_json(json::parse(R"({"core_count": 0})")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pim::config

@@ -1,0 +1,459 @@
+// Unit tests for the ISA: opcode metadata, binary encoding, assembler,
+// program container and structural verifier.
+#include <gtest/gtest.h>
+
+#include "config/arch_config.h"
+#include "isa/assembler.h"
+#include "isa/isa.h"
+#include "isa/program.h"
+
+namespace pim::isa {
+namespace {
+
+TEST(Opcode, ClassRanges) {
+  EXPECT_EQ(instr_class(Opcode::MVM), InstrClass::Matrix);
+  EXPECT_EQ(instr_class(Opcode::VADD), InstrClass::Vector);
+  EXPECT_EQ(instr_class(Opcode::VQUANT), InstrClass::Vector);
+  EXPECT_EQ(instr_class(Opcode::SEND), InstrClass::Transfer);
+  EXPECT_EQ(instr_class(Opcode::GSTORE), InstrClass::Transfer);
+  EXPECT_EQ(instr_class(Opcode::LDI), InstrClass::Scalar);
+  EXPECT_EQ(instr_class(Opcode::HALT), InstrClass::Scalar);
+}
+
+TEST(Opcode, NameRoundTrip) {
+  for (Opcode op : {Opcode::MVM, Opcode::VADD, Opcode::VSUB, Opcode::VMUL, Opcode::VMAX,
+                    Opcode::VMIN, Opcode::VADDI, Opcode::VMULI, Opcode::VSHR, Opcode::VDIVI,
+                    Opcode::VRELU, Opcode::VSIGMOID, Opcode::VTANH, Opcode::VMOV, Opcode::VSET,
+                    Opcode::VQUANT, Opcode::VDEQUANT, Opcode::SEND, Opcode::RECV, Opcode::GLOAD,
+                    Opcode::GSTORE, Opcode::LDI, Opcode::SADD, Opcode::SSUB, Opcode::SMUL,
+                    Opcode::SADDI, Opcode::SAND, Opcode::SOR, Opcode::SXOR, Opcode::SSLL,
+                    Opcode::SSRA, Opcode::JMP, Opcode::BEQ, Opcode::BNE, Opcode::BLT,
+                    Opcode::BGE, Opcode::NOP, Opcode::HALT}) {
+    EXPECT_EQ(opcode_from_name(opcode_name(op)), op);
+  }
+  EXPECT_THROW(opcode_from_name("bogus"), std::invalid_argument);
+}
+
+TEST(Instruction, BytesInOut) {
+  Instruction mvm;
+  mvm.op = Opcode::MVM;
+  mvm.len = 100;
+  EXPECT_EQ(mvm.bytes_in(), 100u);  // int8 input vector
+
+  Instruction vadd;
+  vadd.op = Opcode::VADD;
+  vadd.dtype = DType::I32;
+  vadd.len = 10;
+  EXPECT_EQ(vadd.bytes_in(), 80u);   // two i32 sources
+  EXPECT_EQ(vadd.bytes_out(), 40u);
+
+  Instruction vq;
+  vq.op = Opcode::VQUANT;
+  vq.len = 16;
+  EXPECT_EQ(vq.bytes_in(), 64u);   // i32 in
+  EXPECT_EQ(vq.bytes_out(), 16u);  // i8 out
+
+  Instruction vd;
+  vd.op = Opcode::VDEQUANT;
+  vd.len = 16;
+  EXPECT_EQ(vd.bytes_in(), 16u);
+  EXPECT_EQ(vd.bytes_out(), 64u);
+
+  Instruction send;
+  send.op = Opcode::SEND;
+  send.dtype = DType::I32;
+  send.len = 8;
+  EXPECT_EQ(send.bytes_in(), 32u);
+  EXPECT_EQ(send.bytes_out(), 0u);
+
+  Instruction vset;
+  vset.op = Opcode::VSET;
+  vset.dtype = DType::I8;
+  vset.len = 4;
+  EXPECT_EQ(vset.bytes_in(), 0u);
+  EXPECT_EQ(vset.bytes_out(), 4u);
+}
+
+// ------------------------------------------------------- encoding round-trip
+
+Instruction mvm_instr() {
+  Instruction in;
+  in.op = Opcode::MVM;
+  in.group = 513;
+  in.dst_addr = 0xABCDE;
+  in.src1_addr = 0x12345;
+  in.len = 12345;
+  return in;
+}
+
+TEST(Encoding, MatrixRoundTrip) {
+  Instruction in = mvm_instr();
+  EXPECT_EQ(decode(encode(in)), in);
+}
+
+TEST(Encoding, VectorRegFormRoundTrip) {
+  Instruction in;
+  in.op = Opcode::VADD;
+  in.dtype = DType::I32;
+  in.dst_addr = 0xFFFFC;
+  in.src1_addr = 0x00004;
+  in.src2_addr = 0x80000;
+  in.len = 4095;
+  EXPECT_EQ(decode(encode(in)), in);
+}
+
+TEST(Encoding, VectorImmFormRoundTripSignExtends) {
+  Instruction in;
+  in.op = Opcode::VQUANT;
+  in.dtype = DType::I8;
+  in.dst_addr = 0x100;
+  in.src1_addr = 0x200;
+  in.imm = -7;  // negative immediates survive the 20-bit field
+  in.len = 64;
+  EXPECT_EQ(decode(encode(in)), in);
+  in.op = Opcode::VADDI;
+  in.imm = 0x7FFFF;  // max positive 20-bit
+  EXPECT_EQ(decode(encode(in)), in);
+}
+
+TEST(Encoding, TransferRoundTrip) {
+  Instruction snd;
+  snd.op = Opcode::SEND;
+  snd.dtype = DType::I32;
+  snd.src1_addr = 0xF00F0;
+  snd.len = 65535;
+  snd.core = 63;
+  snd.tag = 999;
+  EXPECT_EQ(decode(encode(snd)), snd);
+
+  Instruction rcv;
+  rcv.op = Opcode::RECV;
+  rcv.dst_addr = 0x3C;
+  rcv.len = 1;
+  rcv.core = 0;
+  rcv.tag = 65535;
+  EXPECT_EQ(decode(encode(rcv)), rcv);
+
+  Instruction gl;
+  gl.op = Opcode::GLOAD;
+  gl.dst_addr = 0x40;
+  gl.imm = static_cast<int32_t>(0xDEADBEEF);
+  gl.len = 4095;
+  EXPECT_EQ(decode(encode(gl)), gl);
+
+  Instruction gs;
+  gs.op = Opcode::GSTORE;
+  gs.src1_addr = 0x80;
+  gs.imm = 0x1000;
+  gs.len = 100;
+  gs.dtype = DType::I8;
+  EXPECT_EQ(decode(encode(gs)), gs);
+}
+
+TEST(Encoding, ScalarRoundTrip) {
+  Instruction in;
+  in.op = Opcode::SADDI;
+  in.rd = 31;
+  in.rs1 = 17;
+  in.imm = -123456;
+  EXPECT_EQ(decode(encode(in)), in);
+
+  Instruction br;
+  br.op = Opcode::BNE;
+  br.rs1 = 1;
+  br.rs2 = 2;
+  br.imm = 42;
+  EXPECT_EQ(decode(encode(br)), br);
+}
+
+/// Property sweep: every vector opcode round-trips with representative
+/// operand patterns.
+class VectorEncodingTest : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(VectorEncodingTest, RoundTrip) {
+  Instruction in;
+  in.op = GetParam();
+  in.dtype = DType::I32;
+  in.dst_addr = 0x54320;
+  in.len = 321;
+  if (uses_vector_imm(in.op)) {
+    in.imm = -3;
+  } else {
+    in.src2_addr = 0x11111;
+  }
+  if (in.op != Opcode::VSET) in.src1_addr = 0x22222;
+  if (in.op == Opcode::VSET) in.src2_addr = 0;  // imm form carries no src2
+  Instruction dec = decode(encode(in));
+  if (uses_vector_imm(in.op)) {
+    EXPECT_EQ(dec, in);
+  } else {
+    EXPECT_EQ(dec, in);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVectorOps, VectorEncodingTest,
+                         ::testing::Values(Opcode::VADD, Opcode::VSUB, Opcode::VMUL,
+                                           Opcode::VMAX, Opcode::VMIN, Opcode::VADDI,
+                                           Opcode::VMULI, Opcode::VSHR, Opcode::VDIVI,
+                                           Opcode::VRELU, Opcode::VSIGMOID, Opcode::VTANH,
+                                           Opcode::VMOV, Opcode::VQUANT, Opcode::VDEQUANT));
+
+// ------------------------------------------------------------------ assembler
+
+TEST(Assembler, RoundTripThroughDisassembly) {
+  Program p;
+  p.network_name = "demo";
+  p.cores.resize(2);
+  GroupDef g;
+  g.id = 0;
+  g.in_len = 32;
+  g.out_len = 16;
+  g.xbar_count = 1;
+  g.out_shift = 9;
+  p.cores[0].groups.push_back(g);
+
+  Instruction mvm;
+  mvm.op = Opcode::MVM;
+  mvm.group = 0;
+  mvm.dst_addr = 0x400;
+  mvm.src1_addr = 0x0;
+  mvm.len = 32;
+  p.cores[0].code.push_back(mvm);
+
+  Instruction vq;
+  vq.op = Opcode::VQUANT;
+  vq.dst_addr = 0x600;
+  vq.src1_addr = 0x400;
+  vq.imm = 9;
+  vq.len = 16;
+  p.cores[0].code.push_back(vq);
+
+  Instruction snd;
+  snd.op = Opcode::SEND;
+  snd.core = 1;
+  snd.tag = 0;
+  snd.src1_addr = 0x600;
+  snd.len = 16;
+  p.cores[0].code.push_back(snd);
+  Instruction halt;
+  halt.op = Opcode::HALT;
+  p.cores[0].code.push_back(halt);
+
+  Instruction rcv;
+  rcv.op = Opcode::RECV;
+  rcv.core = 0;
+  rcv.tag = 0;
+  rcv.dst_addr = 0x0;
+  rcv.len = 16;
+  p.cores[1].code.push_back(rcv);
+  p.cores[1].code.push_back(halt);
+
+  Program back = assemble(disassemble(p));
+  ASSERT_EQ(back.cores.size(), p.cores.size());
+  EXPECT_EQ(back.cores[0].code, p.cores[0].code);
+  EXPECT_EQ(back.cores[1].code, p.cores[1].code);
+  EXPECT_EQ(back.cores[0].groups, p.cores[0].groups);
+  EXPECT_EQ(back.network_name, "demo");
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  Program p = assemble(R"(
+    .core 0
+      ldi r1, 5
+      ldi r2, 0
+    loop:
+      saddi r2, r2, 1
+      bne r2, r1, loop
+      halt
+  )");
+  ASSERT_EQ(p.cores.size(), 1u);
+  ASSERT_EQ(p.cores[0].code.size(), 5u);
+  EXPECT_EQ(p.cores[0].code[3].op, Opcode::BNE);
+  EXPECT_EQ(p.cores[0].code[3].imm, 2);  // label 'loop' at pc 2
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  Program p = assemble("# header\n\n  nop ; trailing\n  halt\n");
+  ASSERT_EQ(p.cores[0].code.size(), 2u);
+  EXPECT_EQ(p.cores[0].code[0].op, Opcode::NOP);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop\nbogus r1\n");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(assemble("jmp nowhere\nhalt"), std::invalid_argument);
+  EXPECT_THROW(assemble(".group id=0"), std::invalid_argument);  // missing fields
+}
+
+// ------------------------------------------------------------------- program
+
+Program minimal_program() {
+  Program p;
+  p.cores.resize(1);
+  GroupDef g;
+  g.id = 0;
+  g.in_len = 32;
+  g.out_len = 32;
+  g.xbar_count = 1;
+  p.cores[0].groups.push_back(g);
+  Instruction mvm;
+  mvm.op = Opcode::MVM;
+  mvm.group = 0;
+  mvm.src1_addr = 0;
+  mvm.dst_addr = 0x100;
+  mvm.len = 32;
+  p.cores[0].code.push_back(mvm);
+  Instruction halt;
+  halt.op = Opcode::HALT;
+  p.cores[0].code.push_back(halt);
+  return p;
+}
+
+TEST(ProgramVerify, AcceptsMinimal) {
+  config::ArchConfig cfg = config::ArchConfig::tiny();
+  EXPECT_TRUE(minimal_program().verify(cfg).empty());
+}
+
+TEST(ProgramVerify, CatchesUndefinedGroup) {
+  config::ArchConfig cfg = config::ArchConfig::tiny();
+  Program p = minimal_program();
+  p.cores[0].code[0].group = 7;
+  auto errs = p.verify(cfg);
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs[0].find("undefined group"), std::string::npos);
+}
+
+TEST(ProgramVerify, CatchesLenMismatch) {
+  config::ArchConfig cfg = config::ArchConfig::tiny();
+  Program p = minimal_program();
+  p.cores[0].code[0].len = 16;  // != group in_len
+  EXPECT_FALSE(p.verify(cfg).empty());
+}
+
+TEST(ProgramVerify, CatchesMissingHalt) {
+  config::ArchConfig cfg = config::ArchConfig::tiny();
+  Program p = minimal_program();
+  p.cores[0].code.pop_back();
+  EXPECT_FALSE(p.verify(cfg).empty());
+}
+
+TEST(ProgramVerify, CatchesLocalMemoryOverflow) {
+  config::ArchConfig cfg = config::ArchConfig::tiny();
+  Program p = minimal_program();
+  Instruction mv;
+  mv.op = Opcode::VMOV;
+  mv.dtype = DType::I8;
+  mv.dst_addr = static_cast<uint32_t>(cfg.core.local_memory.size_bytes - 4);
+  mv.src1_addr = 0;
+  mv.len = 64;
+  p.cores[0].code.insert(p.cores[0].code.end() - 1, mv);
+  auto errs = p.verify(cfg);
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs[0].find("local memory"), std::string::npos);
+}
+
+TEST(ProgramVerify, CatchesUnmatchedSend) {
+  config::ArchConfig cfg = config::ArchConfig::tiny();
+  Program p = minimal_program();
+  Instruction snd;
+  snd.op = Opcode::SEND;
+  snd.core = 1;
+  snd.tag = 3;
+  snd.src1_addr = 0;
+  snd.len = 8;
+  p.cores[0].code.insert(p.cores[0].code.end() - 1, snd);
+  auto errs = p.verify(cfg);
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs[0].find("no matching recv"), std::string::npos);
+}
+
+TEST(ProgramVerify, CatchesSendRecvByteMismatch) {
+  config::ArchConfig cfg = config::ArchConfig::tiny();
+  Program p = minimal_program();
+  p.cores.resize(2);
+  Instruction snd;
+  snd.op = Opcode::SEND;
+  snd.core = 1;
+  snd.tag = 0;
+  snd.len = 8;
+  p.cores[0].code.insert(p.cores[0].code.end() - 1, snd);
+  Instruction rcv;
+  rcv.op = Opcode::RECV;
+  rcv.core = 0;
+  rcv.tag = 0;
+  rcv.len = 16;  // mismatched byte count
+  p.cores[1].code.push_back(rcv);
+  Instruction halt;
+  halt.op = Opcode::HALT;
+  p.cores[1].code.push_back(halt);
+  auto errs = p.verify(cfg);
+  ASSERT_FALSE(errs.empty());
+}
+
+TEST(ProgramVerify, CatchesBranchOutOfRange) {
+  config::ArchConfig cfg = config::ArchConfig::tiny();
+  Program p = minimal_program();
+  Instruction jmp;
+  jmp.op = Opcode::JMP;
+  jmp.imm = 100;
+  p.cores[0].code.insert(p.cores[0].code.end() - 1, jmp);
+  EXPECT_FALSE(p.verify(cfg).empty());
+}
+
+TEST(ProgramVerify, CatchesTooManyXbars) {
+  config::ArchConfig cfg = config::ArchConfig::tiny();
+  Program p = minimal_program();
+  p.cores[0].groups[0].xbar_count = cfg.core.matrix.xbar_count + 1;
+  EXPECT_FALSE(p.verify(cfg).empty());
+}
+
+TEST(ProgramJson, RoundTripWithWeightsAndSegments) {
+  Program p = minimal_program();
+  p.network_name = "net";
+  p.mapping_policy = "performance_first";
+  p.cores[0].groups[0].weights.assign(32 * 32, int8_t{-3});
+  isa::DataSegment seg;
+  seg.addr = 0x40;
+  seg.bytes = {1, 2, 3, 255};
+  p.cores[0].lm_init.push_back(seg);
+  Program back = Program::from_json(p.to_json());
+  EXPECT_EQ(back, p);
+}
+
+TEST(ProgramJson, WeightsCanBeStripped) {
+  Program p = minimal_program();
+  p.cores[0].groups[0].weights.assign(32 * 32, int8_t{1});
+  Program back = Program::from_json(p.to_json(/*include_weights=*/false));
+  EXPECT_TRUE(back.cores[0].groups[0].weights.empty());
+  EXPECT_EQ(back.cores[0].code, p.cores[0].code);
+}
+
+TEST(Program, Counters) {
+  Program p = minimal_program();
+  EXPECT_EQ(p.total_instructions(), 2u);
+  EXPECT_EQ(p.total_groups(), 1u);
+  EXPECT_EQ(p.cores[0].xbars_used(), 1u);
+  EXPECT_NE(p.cores[0].find_group(0), nullptr);
+  EXPECT_EQ(p.cores[0].find_group(9), nullptr);
+}
+
+TEST(Disassembly, StableStrings) {
+  EXPECT_EQ(to_string(mvm_instr()), "mvm g513, 0xabcde, 0x12345, len=12345");
+  Instruction h;
+  h.op = Opcode::HALT;
+  EXPECT_EQ(to_string(h), "halt");
+  Instruction s;
+  s.op = Opcode::SEND;
+  s.core = 3;
+  s.tag = 7;
+  s.src1_addr = 0x200;
+  s.len = 64;
+  EXPECT_EQ(to_string(s), "send core=3, tag=7, 0x200, len=64, i8");
+}
+
+}  // namespace
+}  // namespace pim::isa

@@ -1,0 +1,177 @@
+// Unit tests for the JSON module: parser, writer, accessors, error paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "json/json.h"
+
+namespace pim::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_EQ(parse("42").as_int(), 42);
+  EXPECT_EQ(parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("-2.5e-2").as_double(), -0.025);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, IntVsDouble) {
+  EXPECT_TRUE(parse("7").is_int());
+  EXPECT_FALSE(parse("7.0").is_int());
+  EXPECT_TRUE(parse("7.0").is_number());
+  // as_int on an integral double works; on a fractional one throws.
+  EXPECT_EQ(parse("7.0").as_int(), 7);
+  EXPECT_THROW(parse("7.5").as_int(), Error);
+}
+
+TEST(JsonParse, Arrays) {
+  Value v = parse("[1, 2, 3]");
+  ASSERT_TRUE(v.is_array());
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.at(0).as_int(), 1);
+  EXPECT_EQ(v.at(2).as_int(), 3);
+  EXPECT_THROW(v.at(3), Error);
+  EXPECT_TRUE(parse("[]").as_array().empty());
+  EXPECT_EQ(parse("[[1],[2,3]]").at(1).at(1).as_int(), 3);
+}
+
+TEST(JsonParse, Objects) {
+  Value v = parse(R"({"a": 1, "b": {"c": "x"}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("a").as_int(), 1);
+  EXPECT_EQ(v.at("b").at("c").as_string(), "x");
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("z"));
+  EXPECT_THROW(v.at("z"), Error);
+  EXPECT_TRUE(parse("{}").as_object().empty());
+}
+
+TEST(JsonParse, CommentsAndTrailingCommas) {
+  Value v = parse(R"({
+    // architecture section
+    "cores": 64,   // paper config
+    "list": [1, 2, 3,],
+  })");
+  EXPECT_EQ(v.at("cores").as_int(), 64);
+  EXPECT_EQ(v.at("list").size(), 3u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\nb")").as_string(), "a\nb");
+  EXPECT_EQ(parse(R"("q\"q")").as_string(), "q\"q");
+  EXPECT_EQ(parse(R"("\\")").as_string(), "\\");
+  EXPECT_EQ(parse(R"("\t\r\b\f")").as_string(), "\t\r\b\f");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xc3\xa9");  // é in UTF-8
+}
+
+TEST(JsonParse, ErrorsCarryLineAndColumn) {
+  try {
+    parse("{\n  \"a\": 1,\n  \"b\" 2\n}");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  EXPECT_THROW(parse(""), Error);
+  EXPECT_THROW(parse("{"), Error);
+  EXPECT_THROW(parse("[1 2]"), Error);
+  EXPECT_THROW(parse("tru"), Error);
+  EXPECT_THROW(parse("\"unterminated"), Error);
+  EXPECT_THROW(parse("{\"a\":}"), Error);
+  EXPECT_THROW(parse("1 2"), Error);  // trailing garbage
+  EXPECT_THROW(parse("{'single':1}"), Error);
+}
+
+TEST(JsonDump, CompactAndPretty) {
+  Value v;
+  v["b"] = Value(1);
+  v["a"] = Value(json::Array{Value(true), Value(nullptr)});
+  EXPECT_EQ(v.dump(), R"({"a":[true,null],"b":1})");  // keys sorted (std::map)
+  const std::string pretty = v.dump(2);
+  EXPECT_NE(pretty.find("\n  \"a\""), std::string::npos);
+}
+
+TEST(JsonDump, RoundTrip) {
+  const char* text = R"({"arr":[1,2.5,"s",false,null],"nested":{"x":-3}})";
+  Value v = parse(text);
+  EXPECT_EQ(parse(v.dump()), v);
+  EXPECT_EQ(parse(v.dump(4)), v);
+}
+
+TEST(JsonDump, StringEscaping) {
+  Value v("line1\nline2\t\"quoted\"");
+  EXPECT_EQ(v.dump(), R"("line1\nline2\t\"quoted\"")");
+  EXPECT_EQ(parse(v.dump()).as_string(), v.as_string());
+}
+
+TEST(JsonValue, GetOrDefaults) {
+  Value v = parse(R"({"i": 3, "d": 2.5, "s": "x", "b": true})");
+  EXPECT_EQ(v.get_or("i", int64_t{9}), 3);
+  EXPECT_EQ(v.get_or("missing", int64_t{9}), 9);
+  EXPECT_DOUBLE_EQ(v.get_or("d", 1.0), 2.5);
+  EXPECT_DOUBLE_EQ(v.get_or("missing", 1.0), 1.0);
+  EXPECT_EQ(v.get_or("s", std::string("y")), "x");
+  EXPECT_EQ(v.get_or("missing", "y"), "y");
+  EXPECT_EQ(v.get_or("b", false), true);
+  EXPECT_EQ(v.get_or("missing", false), false);
+}
+
+TEST(JsonValue, TypeErrors) {
+  Value v = parse("[1]");
+  EXPECT_THROW(v.as_object(), Error);
+  EXPECT_THROW(v.as_string(), Error);
+  EXPECT_THROW(v.at("k"), Error);
+  EXPECT_THROW(parse("3").as_array(), Error);
+  EXPECT_THROW(parse("\"s\"").as_int(), Error);
+}
+
+TEST(JsonValue, MutationBuildsObjects) {
+  Value v;  // starts null
+  v["a"]["b"] = Value(1);  // null converts to object on demand
+  EXPECT_EQ(v.at("a").at("b").as_int(), 1);
+}
+
+TEST(JsonValue, NumericEqualityAcrossIntDouble) {
+  EXPECT_EQ(parse("3"), parse("3.0"));
+  EXPECT_FALSE(parse("3") == parse("3.5"));
+}
+
+TEST(JsonFile, WriteAndParseFile) {
+  const std::string path = std::filesystem::temp_directory_path() / "pim_json_test.json";
+  Value v;
+  v["x"] = Value(int64_t{123});
+  write_file(path, v);
+  Value r = parse_file(path);
+  EXPECT_EQ(r, v);
+  std::remove(path.c_str());
+  EXPECT_THROW(parse_file(path), Error);
+}
+
+TEST(JsonParse, BigIntegersExact) {
+  const int64_t big = 123456789012345678;
+  EXPECT_EQ(parse("123456789012345678").as_int(), big);
+  EXPECT_EQ(parse(Value(big).dump()).as_int(), big);
+}
+
+TEST(JsonParse, DeepNesting) {
+  std::string text;
+  for (int i = 0; i < 60; ++i) text += "[";
+  text += "1";
+  for (int i = 0; i < 60; ++i) text += "]";
+  Value v = parse(text);
+  const Value* cur = &v;
+  for (int i = 0; i < 60; ++i) cur = &cur->at(0);
+  EXPECT_EQ(cur->as_int(), 1);
+}
+
+}  // namespace
+}  // namespace pim::json

@@ -1,0 +1,107 @@
+// Unit tests for the stats/report module and the arch-side meters.
+#include <gtest/gtest.h>
+
+#include "arch/stats.h"
+#include "stats/report.h"
+
+namespace pim::stats {
+namespace {
+
+TEST(Series, NormalizedToFirst) {
+  EXPECT_EQ(normalized({2.0, 4.0, 1.0}), (std::vector<double>{1.0, 2.0, 0.5}));
+  EXPECT_EQ(normalized({5.0}, 10.0), (std::vector<double>{0.5}));
+  EXPECT_TRUE(normalized({}).empty());
+  EXPECT_THROW(normalized({0.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Series, Ratio) {
+  EXPECT_EQ(ratio({1.0, 4.0}, {2.0, 2.0}), (std::vector<double>{0.5, 2.0}));
+  EXPECT_THROW(ratio({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Series, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+  EXPECT_DOUBLE_EQ(geomean({3.0}), 3.0);
+  EXPECT_THROW(geomean({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Tables, Markdown) {
+  const std::string t = markdown_table({"a", "b"}, {{"1", "2"}, {"3", "4"}});
+  EXPECT_NE(t.find("| a | b |"), std::string::npos);
+  EXPECT_NE(t.find("| 3 | 4 |"), std::string::npos);
+  EXPECT_NE(t.find("|---|---|"), std::string::npos);
+}
+
+TEST(Tables, Csv) {
+  EXPECT_EQ(csv({"x", "y"}, {{"1", "2"}}), "x,y\n1,2\n");
+}
+
+TEST(Tables, Fmt) {
+  EXPECT_EQ(fmt(0), "0");
+  EXPECT_EQ(fmt(1.5), "1.500");
+  EXPECT_EQ(fmt(12345.0), "1.23e+04");
+}
+
+TEST(BarChart, RendersAllSeries) {
+  const std::string chart =
+      bar_chart("demo", {"net1", "net2"}, {{"a", {1.0, 0.5}}, {"b", {0.25, 1.0}}}, 8);
+  EXPECT_NE(chart.find("== demo =="), std::string::npos);
+  EXPECT_NE(chart.find("net1"), std::string::npos);
+  EXPECT_NE(chart.find("########"), std::string::npos);  // full-scale bar
+}
+
+}  // namespace
+}  // namespace pim::stats
+
+namespace pim::arch {
+namespace {
+
+TEST(EnergyMeter, AccumulatesByComponent) {
+  EnergyMeter m;
+  m.add(Component::Xbar, 10.0);
+  m.add(Component::Xbar, 5.0);
+  m.add(Component::Adc, 1.0);
+  EXPECT_DOUBLE_EQ(m.get(Component::Xbar), 15.0);
+  EXPECT_DOUBLE_EQ(m.total_pj(), 16.0);
+}
+
+TEST(EnergyMeter, StaticIntegration) {
+  EnergyMeter m;
+  m.add_static(/*mW=*/2.0, /*ps=*/1'000'000);  // 2 mW over 1 us = 2000 pJ
+  EXPECT_DOUBLE_EQ(m.get(Component::Static), 2000.0);
+}
+
+TEST(LayerStats, CommRatio) {
+  LayerStats ls;
+  ls.matrix_busy_ps = 300;
+  ls.vector_busy_ps = 100;
+  ls.transfer_busy_ps = 600;
+  EXPECT_DOUBLE_EQ(ls.comm_ratio(), 0.6);
+  LayerStats empty;
+  EXPECT_DOUBLE_EQ(empty.comm_ratio(), 0.0);
+}
+
+TEST(LayerStats, Span) {
+  LayerStats ls;
+  ls.first_issue_ps = 100;
+  ls.last_complete_ps = 350;
+  EXPECT_EQ(ls.span_ps(), 250u);
+}
+
+TEST(RunStats, PowerFormula) {
+  RunStats rs;
+  rs.total_ps = 1'000'000;           // 1 us
+  rs.energy.add(Component::Xbar, 2'000'000.0);  // 2 uJ... 2e6 pJ
+  // P = 2e6 pJ / 1e6 ps * 1e3 = 2000 mW? (1 pJ/ps == 1 W) -> 2 W = 2000 mW.
+  EXPECT_DOUBLE_EQ(rs.avg_power_mw(), 2000.0);
+  EXPECT_DOUBLE_EQ(rs.latency_ms(), 1e-3);
+}
+
+TEST(Component, NamesAreStable) {
+  EXPECT_STREQ(component_name(Component::Xbar), "xbar");
+  EXPECT_STREQ(component_name(Component::Noc), "noc");
+  EXPECT_STREQ(component_name(Component::Static), "static");
+}
+
+}  // namespace
+}  // namespace pim::arch

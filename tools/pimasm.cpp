@@ -1,0 +1,65 @@
+// pimasm — assembler / disassembler for the PIMSIM-NN ISA.
+//
+//   pimasm program.s --out program.json          assemble
+//   pimasm program.json --disasm [--out prog.s]  disassemble
+//   pimasm program.json --verify --arch cfg.json structural verification
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "config/arch_config.h"
+#include "isa/assembler.h"
+#include "isa/program.h"
+#include "tool_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pim;
+  using tools::arg_value;
+  using tools::has_flag;
+
+  const char* input = tools::positional(argc, argv);
+  if (input == nullptr) {
+    tools::usage(
+        "usage: pimasm <program.s> [--out prog.json]\n"
+        "       pimasm <program.json> --disasm [--out prog.s]\n"
+        "       pimasm <program.json> --verify --arch <arch.json>\n");
+  }
+  try {
+    if (has_flag(argc, argv, "--disasm")) {
+      isa::Program p = isa::Program::load(input);
+      std::string text = isa::disassemble(p);
+      if (const char* out = arg_value(argc, argv, "--out")) {
+        std::ofstream f(out);
+        f << text;
+        std::printf("wrote %s\n", out);
+      } else {
+        std::fputs(text.c_str(), stdout);
+      }
+      return 0;
+    }
+    if (has_flag(argc, argv, "--verify")) {
+      const char* arch = arg_value(argc, argv, "--arch");
+      if (arch == nullptr) tools::usage("pimasm: --verify requires --arch\n");
+      isa::Program p = isa::Program::load(input);
+      auto errors = p.verify(config::ArchConfig::load(arch));
+      for (const std::string& e : errors) std::fprintf(stderr, "%s\n", e.c_str());
+      std::printf("%s: %zu instructions, %zu groups, %zu violations\n", input,
+                  p.total_instructions(), p.total_groups(), errors.size());
+      return errors.empty() ? 0 : 1;
+    }
+    // Assemble.
+    std::ifstream in(input);
+    if (!in) throw std::runtime_error("cannot open " + std::string(input));
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    isa::Program p = isa::assemble(ss.str());
+    const char* out = arg_value(argc, argv, "--out", "program.json");
+    p.save(out);
+    std::printf("wrote %s: %zu instructions on %zu cores\n", out, p.total_instructions(),
+                p.cores.size());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pimasm: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,77 @@
+// pimc — the PIMSIM-NN compiler driver.
+//
+// Lowers a network description file onto an architecture configuration and
+// writes the ISA program (JSON container). The front half of the paper's
+// Fig. 1 workflow.
+//
+//   pimc --network networks/resnet18_32.json --arch configs/paper_64core.json
+//        --out resnet18.prog.json [--policy util|perf] [--no-fusion]
+//        [--replication N] [--weights] [--asm out.s] [--report]
+#include <cstdio>
+
+#include "compiler/compiler.h"
+#include "config/arch_config.h"
+#include "isa/assembler.h"
+#include "json/json.h"
+#include "nn/graph.h"
+#include "tool_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pim;
+  using tools::arg_value;
+  using tools::has_flag;
+
+  const char* net_path = arg_value(argc, argv, "--network");
+  const char* arch_path = arg_value(argc, argv, "--arch");
+  if (net_path == nullptr || arch_path == nullptr) {
+    tools::usage(
+        "usage: pimc --network <net.json> --arch <arch.json> [--out prog.json]\n"
+        "            [--policy util|perf] [--no-fusion] [--replication N]\n"
+        "            [--weights] [--asm out.s] [--report]\n");
+  }
+  const char* out_path = arg_value(argc, argv, "--out", "program.json");
+
+  try {
+    nn::Graph net = nn::Graph::from_json(json::parse_file(net_path));
+    config::ArchConfig cfg = config::ArchConfig::load(arch_path);
+
+    compiler::CompileOptions copts;
+    const std::string policy = arg_value(argc, argv, "--policy", "perf");
+    copts.policy = policy == "util" ? compiler::MappingPolicy::UtilizationFirst
+                                    : compiler::MappingPolicy::PerformanceFirst;
+    copts.fuse_relu = !has_flag(argc, argv, "--no-fusion");
+    copts.replication =
+        static_cast<uint32_t>(std::atoi(arg_value(argc, argv, "--replication", "1")));
+    copts.include_weights = has_flag(argc, argv, "--weights");
+    if (copts.include_weights && net.total_weight_elems() > 0 &&
+        net.layers()[1].weights.empty()) {
+      net.init_parameters();  // description carried no weights; synthesize
+    }
+
+    compiler::CompileReport report;
+    isa::Program program = compiler::compile(net, cfg, copts, &report);
+    program.save(out_path, copts.include_weights);
+    std::printf("wrote %s: %zu instructions, %zu groups\n", out_path,
+                report.total_instructions, program.total_groups());
+
+    if (const char* asm_path = arg_value(argc, argv, "--asm")) {
+      std::string text = isa::disassemble(program);
+      FILE* f = std::fopen(asm_path, "w");
+      if (f == nullptr) throw std::runtime_error("cannot write " + std::string(asm_path));
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", asm_path);
+    }
+    if (has_flag(argc, argv, "--report")) {
+      std::printf("%s\n", report.mapping.summary().c_str());
+      std::printf("mvm=%zu transfer=%zu vector=%zu, peak LM %llu KiB\n",
+                  report.mvm_instructions, report.transfer_instructions,
+                  report.vector_instructions,
+                  static_cast<unsigned long long>(report.lm_bytes_peak / 1024));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pimc: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// pimsim — the PIMSIM-NN simulator driver.
+//
+// Runs a compiled ISA program (from pimc) on an architecture configuration:
+// the back half of the paper's Fig. 1 workflow. Reports latency, power and
+// energy; optionally dumps the full report as JSON or an instruction trace.
+//
+//   pimsim --program resnet18.prog.json --arch configs/paper_64core.json
+//          [--json] [--trace trace.log]
+#include <cstdio>
+
+#include "config/arch_config.h"
+#include "isa/program.h"
+#include "runtime/simulator.h"
+#include "tool_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pim;
+  using tools::arg_value;
+  using tools::has_flag;
+
+  const char* prog_path = arg_value(argc, argv, "--program");
+  const char* arch_path = arg_value(argc, argv, "--arch");
+  if (prog_path == nullptr || arch_path == nullptr) {
+    tools::usage(
+        "usage: pimsim --program <prog.json> --arch <arch.json> [--json]\n"
+        "              [--trace trace.log]\n");
+  }
+  try {
+    isa::Program program = isa::Program::load(prog_path);
+    config::ArchConfig cfg = config::ArchConfig::load(arch_path);
+    if (const char* trace = arg_value(argc, argv, "--trace")) cfg.sim.trace_file = trace;
+
+    runtime::Report report = runtime::simulate_program(program, cfg);
+    if (has_flag(argc, argv, "--json")) {
+      std::printf("%s\n", report.to_json().dump(2).c_str());
+    } else {
+      std::printf("%s\n", report.summary().c_str());
+      json::Value energy;
+      for (size_t c = 0; c < static_cast<size_t>(arch::Component::kCount); ++c) {
+        const auto comp = static_cast<arch::Component>(c);
+        std::printf("  %-14s %12.3f uJ\n", arch::component_name(comp),
+                    report.stats.energy.get(comp) * 1e-6);
+      }
+    }
+    return report.finished ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pimsim: %s\n", e.what());
+    return 1;
+  }
+}

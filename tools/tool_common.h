@@ -1,0 +1,42 @@
+// Shared argument-parsing helpers for the command-line tools.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace pim::tools {
+
+inline const char* arg_value(int argc, char** argv, const char* key,
+                             const char* fallback = nullptr) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], key) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+inline bool has_flag(int argc, char** argv, const char* key) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], key) == 0) return true;
+  }
+  return false;
+}
+
+/// First bare (non-flag, non-flag-value) argument, or nullptr.
+inline const char* positional(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') {
+      ++i;  // skip the flag's value
+      continue;
+    }
+    return argv[i];
+  }
+  return nullptr;
+}
+
+[[noreturn]] inline void usage(const char* text) {
+  std::fputs(text, stderr);
+  std::exit(2);
+}
+
+}  // namespace pim::tools
