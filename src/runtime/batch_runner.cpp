@@ -1,0 +1,283 @@
+#include "runtime/batch_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "compiler/mapping.h"
+#include "nn/executor.h"
+#include "nn/models.h"
+
+namespace pim::runtime {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+const char* policy_short(compiler::MappingPolicy p) {
+  return p == compiler::MappingPolicy::UtilizationFirst ? "util" : "perf";
+}
+
+/// Build the scenario's network. "mlp" is not in the model zoo proper but
+/// gives sweeps a cheap FC-only workload: 3*hw*hw -> 64 -> 32 -> 10.
+nn::Graph build_graph(const Scenario& s, nn::Shape* input_shape) {
+  if (s.model == "mlp") {
+    const int32_t in_features = 3 * s.input_hw * s.input_hw;
+    *input_shape = {in_features, 1, 1};
+    return nn::build_mlp(in_features, {64, 32}, 10, /*seed=*/1);
+  }
+  nn::ModelOptions mopt;
+  mopt.input_hw = s.input_hw;
+  mopt.init_params = s.functional;
+  *input_shape = {mopt.input_channels, s.input_hw, s.input_hw};
+  return nn::build_model(s.model, mopt);
+}
+
+ScenarioResult run_one(const Scenario& s) {
+  ScenarioResult r;
+  r.name = s.name.empty() ? s.derive_name() : s.name;
+  r.model = s.model;
+  r.policy = policy_short(s.copts.policy);
+  r.batch = std::max(1u, s.copts.batch);
+  const Clock::time_point start = Clock::now();
+  try {
+    nn::Shape input_shape;
+    nn::Graph net = build_graph(s, &input_shape);
+    config::ArchConfig cfg = s.arch;
+    cfg.sim.functional = s.functional;
+    compiler::CompileOptions copts = s.copts;
+    copts.include_weights = s.functional;
+    nn::Tensor input;
+    const nn::Tensor* in_ptr = nullptr;
+    if (s.functional) {
+      input = nn::random_input(input_shape, s.input_seed);
+      in_ptr = &input;
+    }
+    r.report = simulate_network(net, cfg, copts, in_ptr);
+    r.ok = r.report.finished;
+    if (!r.ok) r.error = "simulation did not finish (deadlock or time limit)";
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  r.wall_ms = ms_since(start);
+  return r;
+}
+
+}  // namespace
+
+std::string Scenario::derive_name() const {
+  std::string n = strformat("%s/%s/b%u", model.c_str(), policy_short(copts.policy),
+                            std::max(1u, copts.batch));
+  if (copts.replication > 1) n += strformat("/r%u", copts.replication);
+  return n;
+}
+
+json::Value ScenarioResult::to_json() const {
+  json::Value v;
+  v["name"] = json::Value(name);
+  v["model"] = json::Value(model);
+  v["policy"] = json::Value(policy);
+  v["batch"] = json::Value(batch);
+  v["ok"] = json::Value(ok);
+  v["wall_ms"] = json::Value(wall_ms);
+  if (!ok) {
+    v["error"] = json::Value(error);
+    return v;
+  }
+  v["latency_ms"] = json::Value(report.latency_ms());
+  v["energy_uj"] = json::Value(report.energy_uj());
+  v["avg_power_mw"] = json::Value(report.avg_power_mw());
+  v["instructions"] = json::Value(report.stats.total_instructions());
+  v["noc_bytes"] = json::Value(report.stats.total_bytes_on_noc());
+  v["total_ps"] = json::Value(static_cast<uint64_t>(report.stats.total_ps));
+  return v;
+}
+
+bool BatchResult::all_ok() const {
+  for (const ScenarioResult& r : results) {
+    if (!r.ok) return false;
+  }
+  return !results.empty();
+}
+
+double BatchResult::serial_ms() const {
+  double sum = 0.0;
+  for (const ScenarioResult& r : results) sum += r.wall_ms;
+  return sum;
+}
+
+double BatchResult::speedup() const { return wall_ms > 0.0 ? serial_ms() / wall_ms : 0.0; }
+
+std::string BatchResult::markdown() const {
+  std::string out =
+      "| scenario | ok | latency (ms) | energy (uJ) | power (mW) | instructions | host wall "
+      "(ms) |\n|---|---|---|---|---|---|---|\n";
+  for (const ScenarioResult& r : results) {
+    if (r.ok) {
+      out += strformat("| %s | yes | %.4f | %.3f | %.1f | %llu | %.1f |\n", r.name.c_str(),
+                       r.report.latency_ms(), r.report.energy_uj(), r.report.avg_power_mw(),
+                       static_cast<unsigned long long>(r.report.stats.total_instructions()),
+                       r.wall_ms);
+    } else {
+      // Exception text can contain table-breaking characters.
+      std::string err = r.error;
+      for (char& c : err) {
+        if (c == '|' || c == '\n') c = c == '|' ? '/' : ' ';
+      }
+      out += strformat("| %s | **no** (%s) | - | - | - | - | %.1f |\n", r.name.c_str(),
+                       err.c_str(), r.wall_ms);
+    }
+  }
+  out += strformat(
+      "\n%zu scenarios, %u jobs: %.1f ms wall, %.1f ms aggregate scenario time, "
+      "speedup %.2fx vs serial\n",
+      results.size(), jobs, wall_ms, serial_ms(), speedup());
+  return out;
+}
+
+json::Value BatchResult::to_json() const {
+  json::Value v;
+  v["jobs"] = json::Value(jobs);
+  v["wall_ms"] = json::Value(wall_ms);
+  v["serial_ms"] = json::Value(serial_ms());
+  v["speedup"] = json::Value(speedup());
+  v["all_ok"] = json::Value(all_ok());
+  json::Array arr;
+  arr.reserve(results.size());
+  for (const ScenarioResult& r : results) arr.push_back(r.to_json());
+  v["scenarios"] = json::Value(std::move(arr));
+  return v;
+}
+
+BatchRunner::BatchRunner(unsigned jobs) : jobs_(jobs) {
+  if (jobs_ == 0) {
+    jobs_ = std::thread::hardware_concurrency();
+    if (jobs_ == 0) jobs_ = 1;
+  }
+}
+
+BatchResult BatchRunner::run(const std::vector<Scenario>& scenarios) const {
+  BatchResult batch;
+  batch.results.resize(scenarios.size());
+  batch.jobs = std::max(1u, std::min<unsigned>(
+                                jobs_, static_cast<unsigned>(std::max<size_t>(1, scenarios.size()))));
+  const Clock::time_point start = Clock::now();
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex progress_mutex;
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= scenarios.size()) return;
+      // Distinct slots: no lock needed for the write itself.
+      batch.results[i] = run_one(scenarios[i]);
+      const size_t completed = done.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (progress_) {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        progress_(batch.results[i], completed, scenarios.size());
+      }
+    }
+  };
+
+  if (batch.jobs == 1) {
+    worker();  // run inline — the serial reference path, no thread overhead
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(batch.jobs);
+    for (unsigned t = 0; t < batch.jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  batch.wall_ms = ms_since(start);
+  PIM_LOG(Info) << "batch: " << scenarios.size() << " scenarios on " << batch.jobs
+                << " jobs in " << batch.wall_ms << " ms (speedup " << batch.speedup()
+                << "x vs serial)";
+  return batch;
+}
+
+std::vector<Scenario> expand_sweep(const std::vector<std::string>& models,
+                                   const std::vector<compiler::MappingPolicy>& policies,
+                                   const std::vector<uint32_t>& batches,
+                                   const config::ArchConfig& arch, int32_t input_hw,
+                                   bool functional) {
+  std::vector<Scenario> out;
+  out.reserve(models.size() * policies.size() * batches.size());
+  for (const std::string& model : models) {
+    for (compiler::MappingPolicy policy : policies) {
+      for (uint32_t batch : batches) {
+        Scenario s;
+        s.model = model;
+        s.input_hw = input_hw;
+        s.arch = arch;
+        s.copts.policy = policy;
+        s.copts.batch = batch;
+        s.functional = functional;
+        s.name = s.derive_name();
+        out.push_back(std::move(s));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> compare_results(const BatchResult& a, const BatchResult& b) {
+  std::vector<std::string> diffs;
+  if (a.results.size() != b.results.size()) {
+    diffs.push_back(strformat("scenario count differs: %zu vs %zu", a.results.size(),
+                              b.results.size()));
+    return diffs;
+  }
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    const ScenarioResult& x = a.results[i];
+    const ScenarioResult& y = b.results[i];
+    const std::string& who = x.name;
+    if (x.name != y.name) {
+      diffs.push_back(strformat("[%zu] name differs: %s vs %s", i, x.name.c_str(),
+                                y.name.c_str()));
+      continue;
+    }
+    if (x.ok != y.ok) {
+      diffs.push_back(strformat("%s: ok differs: %d vs %d", who.c_str(), x.ok, y.ok));
+      continue;
+    }
+    if (!x.ok) continue;  // both failed the same way; nothing numeric to compare
+    if (x.report.stats.total_ps != y.report.stats.total_ps) {
+      diffs.push_back(strformat("%s: latency differs: %llu ps vs %llu ps", who.c_str(),
+                                static_cast<unsigned long long>(x.report.stats.total_ps),
+                                static_cast<unsigned long long>(y.report.stats.total_ps)));
+    }
+    for (size_t c = 0; c < static_cast<size_t>(arch::Component::kCount); ++c) {
+      const auto comp = static_cast<arch::Component>(c);
+      const double ex = x.report.stats.energy.get(comp);
+      const double ey = y.report.stats.energy.get(comp);
+      // Bit-exact, not epsilon: identical instruction streams must produce
+      // identical accumulation order.
+      if (std::memcmp(&ex, &ey, sizeof(double)) != 0) {
+        diffs.push_back(strformat("%s: %s energy differs: %.17g pJ vs %.17g pJ", who.c_str(),
+                                  arch::component_name(comp), ex, ey));
+      }
+    }
+    if (x.report.stats.total_instructions() != y.report.stats.total_instructions()) {
+      diffs.push_back(strformat(
+          "%s: instruction count differs: %llu vs %llu", who.c_str(),
+          static_cast<unsigned long long>(x.report.stats.total_instructions()),
+          static_cast<unsigned long long>(y.report.stats.total_instructions())));
+    }
+    if (x.report.output != y.report.output) {
+      diffs.push_back(strformat("%s: functional output differs", who.c_str()));
+    }
+  }
+  return diffs;
+}
+
+}  // namespace pim::runtime

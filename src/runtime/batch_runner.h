@@ -1,0 +1,108 @@
+// Parallel scenario driver: fan independent simulations out across host
+// threads.
+//
+// The sim::Kernel is single-threaded and deterministic by design, so
+// throughput on multi-scenario sweeps (design-space exploration, model zoo
+// regressions, figure reproduction) comes from running many independent
+// kernels concurrently — one Scenario = one compile + one sim::Kernel, with
+// no shared mutable state between workers (pim::log is mutex-guarded).
+// Results are returned in input order and are bit-identical to a serial run
+// of the same scenario list.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "config/arch_config.h"
+#include "json/json.h"
+#include "runtime/simulator.h"
+
+namespace pim::runtime {
+
+/// One independent simulation: a model-zoo network (plus "mlp" for a cheap
+/// FC-only workload), an architecture configuration, and compile options.
+struct Scenario {
+  std::string name;              ///< unique label; derive_name() when empty
+  std::string model;             ///< nn::build_model name, or "mlp"
+  int32_t input_hw = 32;
+  config::ArchConfig arch;
+  compiler::CompileOptions copts;
+  bool functional = false;       ///< move real data and read back the output
+  uint64_t input_seed = 7;       ///< deterministic functional input
+
+  /// "<model>/<policy>/b<batch>[/rN]" — the default scenario label.
+  std::string derive_name() const;
+};
+
+/// Outcome of one scenario. `ok == false` means the compile or simulation
+/// threw; `error` holds the message and `report` is default-constructed.
+struct ScenarioResult {
+  std::string name;
+  std::string model;
+  std::string policy;
+  uint32_t batch = 1;
+  bool ok = false;
+  std::string error;
+  Report report;
+  double wall_ms = 0.0;          ///< host wall-clock spent on this scenario
+
+  json::Value to_json() const;
+};
+
+/// Aggregate outcome of one batch run.
+struct BatchResult {
+  std::vector<ScenarioResult> results;  ///< same order as the input scenarios
+  unsigned jobs = 1;
+  double wall_ms = 0.0;                 ///< end-to-end host wall-clock
+
+  bool all_ok() const;
+  /// Sum of per-scenario wall-clock — what a serial run would cost.
+  double serial_ms() const;
+  /// serial_ms() / wall_ms — measured scaling over `--jobs 1`.
+  double speedup() const;
+
+  /// Markdown: per-scenario table plus an aggregate footer.
+  std::string markdown() const;
+  json::Value to_json() const;
+};
+
+/// Thread-pool scenario driver.
+class BatchRunner {
+ public:
+  /// `jobs` = worker threads; 0 picks std::thread::hardware_concurrency().
+  explicit BatchRunner(unsigned jobs = 0);
+
+  unsigned jobs() const { return jobs_; }
+
+  /// Called after each scenario completes (from worker threads, serialized
+  /// internally): (result, completed count, total count).
+  using Progress = std::function<void(const ScenarioResult&, size_t, size_t)>;
+  void set_progress(Progress cb) { progress_ = std::move(cb); }
+
+  /// Run every scenario, `jobs` at a time. Never throws for per-scenario
+  /// failures — inspect ScenarioResult::ok.
+  BatchResult run(const std::vector<Scenario>& scenarios) const;
+
+ private:
+  unsigned jobs_;
+  Progress progress_;
+};
+
+/// Cross product {models} x {policies} x {batches} -> scenario list, all on
+/// the same architecture and input resolution.
+std::vector<Scenario> expand_sweep(const std::vector<std::string>& models,
+                                   const std::vector<compiler::MappingPolicy>& policies,
+                                   const std::vector<uint32_t>& batches,
+                                   const config::ArchConfig& arch, int32_t input_hw,
+                                   bool functional = false);
+
+/// Bit-exact comparison of two runs of the same scenario list (e.g. parallel
+/// vs serial): latency in ps, per-component energy in pJ, instruction count
+/// and functional output must match exactly. Returns one human-readable
+/// message per mismatch; empty = identical.
+std::vector<std::string> compare_results(const BatchResult& a, const BatchResult& b);
+
+}  // namespace pim::runtime

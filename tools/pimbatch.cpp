@@ -1,0 +1,166 @@
+// pimbatch — parallel scenario driver.
+//
+// Fans a sweep of independent simulations (network x mapping policy x batch
+// size) out across a host thread pool, one sim::Kernel per worker, and emits
+// an aggregate markdown/JSON summary with the measured speedup over a serial
+// run. Per-scenario results are bit-identical regardless of --jobs.
+//
+//   pimbatch [--models tiny_cnn,mlp] [--policies perf,util] [--batches 1,2]
+//            [--arch tiny|paper|mnsim | --config arch.json] [--input-hw N]
+//            [--jobs N] [--functional] [--replication N]
+//            [--scenarios sweep.json] [--json out.json] [--md out.md]
+//            [--verify] [--quiet]
+//
+//   --jobs 0 (default) uses all hardware threads; --jobs 1 is the serial
+//   reference. --verify reruns the sweep serially and checks bit-identity.
+//   --scenarios loads the sweep spec from JSON instead of the flags:
+//     {"models": [...], "policies": [...], "batches": [...],
+//      "arch": "tiny", "input_hw": 8, "functional": true}
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "config/arch_config.h"
+#include "json/json.h"
+#include "runtime/batch_runner.h"
+#include "tool_common.h"
+
+namespace {
+
+using namespace pim;
+
+config::ArchConfig arch_by_name(const std::string& name) {
+  if (name == "tiny") return config::ArchConfig::tiny();
+  if (name == "paper") return config::ArchConfig::paper_default();
+  if (name == "mnsim") return config::ArchConfig::mnsim_like();
+  tools::usage("pimbatch: unknown --arch (expected tiny|paper|mnsim)\n");
+}
+
+compiler::MappingPolicy parse_policy(const std::string& p) {
+  if (p == "util") return compiler::MappingPolicy::UtilizationFirst;
+  if (p == "perf") return compiler::MappingPolicy::PerformanceFirst;
+  tools::usage("pimbatch: unknown policy (expected perf|util)\n");
+}
+
+std::vector<uint32_t> parse_batches(const std::string& csv) {
+  std::vector<uint32_t> out;
+  for (const std::string& tok : split(csv, ',')) {
+    const int v = std::atoi(tok.c_str());
+    if (v < 1) tools::usage("pimbatch: --batches entries must be >= 1\n");
+    out.push_back(static_cast<uint32_t>(v));
+  }
+  return out;
+}
+
+std::vector<compiler::MappingPolicy> parse_policies(const std::string& csv) {
+  std::vector<compiler::MappingPolicy> out;
+  for (const std::string& tok : split(csv, ',')) out.push_back(parse_policy(tok));
+  return out;
+}
+
+/// Sweep spec from JSON (see header comment); flags override nothing here —
+/// the file is authoritative when --scenarios is given.
+std::vector<runtime::Scenario> sweep_from_file(const std::string& path) {
+  const json::Value spec = json::parse_file(path);
+  std::vector<std::string> models;
+  for (const json::Value& m : spec.at("models").as_array()) models.push_back(m.as_string());
+  std::vector<compiler::MappingPolicy> policies;
+  for (const json::Value& p : spec.at("policies").as_array()) {
+    policies.push_back(parse_policy(p.as_string()));
+  }
+  std::vector<uint32_t> batches;
+  for (const json::Value& b : spec.at("batches").as_array()) {
+    if (b.as_int() < 1) tools::usage("pimbatch: sweep batches entries must be >= 1\n");
+    batches.push_back(static_cast<uint32_t>(b.as_int()));
+  }
+  config::ArchConfig arch = spec.contains("config")
+                                ? config::ArchConfig::load(spec.at("config").as_string())
+                                : arch_by_name(spec.get_or("arch", "tiny"));
+  return runtime::expand_sweep(models, policies, batches, arch,
+                               static_cast<int32_t>(spec.get_or("input_hw", 32)),
+                               spec.get_or("functional", false));
+}
+
+void write_text(const char* path, const std::string& text) {
+  std::ofstream f(path);
+  f << text;
+  if (!f) {
+    std::fprintf(stderr, "pimbatch: cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using tools::arg_value;
+  using tools::has_flag;
+
+  try {
+    const unsigned jobs = static_cast<unsigned>(std::atoi(arg_value(argc, argv, "--jobs", "0")));
+    const bool quiet = has_flag(argc, argv, "--quiet");
+
+    std::vector<runtime::Scenario> scenarios;
+    if (const char* spec = arg_value(argc, argv, "--scenarios")) {
+      scenarios = sweep_from_file(spec);
+    } else {
+      config::ArchConfig arch;
+      if (const char* cfg_path = arg_value(argc, argv, "--config")) {
+        arch = config::ArchConfig::load(cfg_path);
+      } else {
+        arch = arch_by_name(arg_value(argc, argv, "--arch", "tiny"));
+      }
+      scenarios = runtime::expand_sweep(
+          split(arg_value(argc, argv, "--models", "tiny_cnn,mlp"), ','),
+          parse_policies(arg_value(argc, argv, "--policies", "perf,util")),
+          parse_batches(arg_value(argc, argv, "--batches", "1,2")), arch,
+          std::atoi(arg_value(argc, argv, "--input-hw", "8")),
+          has_flag(argc, argv, "--functional"));
+      const uint32_t repl =
+          static_cast<uint32_t>(std::atoi(arg_value(argc, argv, "--replication", "1")));
+      for (runtime::Scenario& s : scenarios) {
+        s.copts.replication = repl;
+        if (repl > 1) s.name = s.derive_name();
+      }
+    }
+    if (scenarios.empty()) tools::usage("pimbatch: empty scenario list\n");
+
+    runtime::BatchRunner runner(jobs);
+    if (!quiet) {
+      std::printf("pimbatch: %zu scenarios on %u jobs\n", scenarios.size(), runner.jobs());
+      runner.set_progress([](const runtime::ScenarioResult& r, size_t completed, size_t total) {
+        std::printf("[%zu/%zu] %-28s %s  (%.1f ms host)\n", completed, total, r.name.c_str(),
+                    r.ok ? "ok" : ("FAILED: " + r.error).c_str(), r.wall_ms);
+        std::fflush(stdout);
+      });
+    }
+
+    runtime::BatchResult result = runner.run(scenarios);
+    std::printf("\n%s", result.markdown().c_str());
+
+    bool verified_ok = true;
+    if (has_flag(argc, argv, "--verify")) {
+      if (!quiet) std::printf("\nverify: rerunning %zu scenarios serially...\n", scenarios.size());
+      runtime::BatchResult serial = runtime::BatchRunner(1).run(scenarios);
+      const std::vector<std::string> diffs = runtime::compare_results(result, serial);
+      for (const std::string& d : diffs) std::fprintf(stderr, "mismatch: %s\n", d.c_str());
+      verified_ok = diffs.empty();
+      std::printf("determinism check vs serial: %s\n", verified_ok ? "PASS" : "FAIL");
+    }
+
+    if (const char* json_path = arg_value(argc, argv, "--json")) {
+      write_text(json_path, result.to_json().dump(2) + "\n");
+    }
+    if (const char* md_path = arg_value(argc, argv, "--md")) {
+      write_text(md_path, result.markdown());
+    }
+    return result.all_ok() && verified_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pimbatch: %s\n", e.what());
+    return 1;
+  }
+}
