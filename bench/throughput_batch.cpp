@@ -6,7 +6,13 @@
 // This harness sweeps the batch size and reports per-image latency
 // (latency/B) and throughput, on the paper's 64-core chip with
 // performance-first mapping.
+//
+// Besides the human-readable table it writes BENCH_throughput.json (path
+// overridable via PIM_BENCH_JSON) with every measured point, so successive
+// PRs have a machine-readable perf trajectory to diff against.
 #include "bench_common.h"
+
+#include "json/json.h"
 
 int main() {
   using namespace pim;
@@ -26,6 +32,7 @@ int main() {
   std::vector<stats::Series> series;
   for (uint32_t b : batches) series.push_back({"B=" + std::to_string(b), {}});
 
+  json::Array measurements;
   for (const std::string& name : nets) {
     nn::Graph net = bench::bench_model(name);
     std::vector<std::string> row = {name};
@@ -39,6 +46,17 @@ int main() {
       if (i == 0) base_per_image = per_image;
       row.push_back(stats::fmt(per_image));
       series[i].values.push_back(per_image / base_per_image);
+
+      json::Value m;
+      m["network"] = json::Value(name);
+      m["batch"] = json::Value(batches[i]);
+      m["latency_ms"] = json::Value(rep.latency_ms());
+      m["per_image_ms"] = json::Value(per_image);
+      m["images_per_s"] = json::Value(per_image > 0 ? 1e3 / per_image : 0.0);
+      m["energy_uj"] = json::Value(rep.energy_uj());
+      m["avg_power_mw"] = json::Value(rep.avg_power_mw());
+      m["instructions"] = json::Value(rep.stats.total_instructions());
+      measurements.push_back(std::move(m));
     }
     rows.push_back(row);
   }
@@ -51,5 +69,23 @@ int main() {
                           .c_str());
   std::printf("expected shape: per-image latency falls with batch size as the layer\n"
               "pipeline stays full, approaching the bottleneck stage's service time.\n");
+
+  // Machine-readable trajectory for future PRs to compare against. Written
+  // last, and best-effort: an unwritable path must not discard the tables
+  // above.
+  const char* json_env = std::getenv("PIM_BENCH_JSON");
+  const std::string json_path = json_env != nullptr ? json_env : "BENCH_throughput.json";
+  json::Value out;
+  out["bench"] = json::Value("throughput_batch");
+  out["arch"] = json::Value(cfg.name);
+  out["input_hw"] = json::Value(static_cast<int64_t>(bench::input_hw()));
+  out["measurements"] = json::Value(std::move(measurements));
+  try {
+    json::write_file(json_path, out);
+    std::printf("wrote %s\n", json_path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "throughput_batch: cannot write %s: %s\n", json_path.c_str(),
+                 e.what());
+  }
   return 0;
 }

@@ -2,69 +2,54 @@
 // for (paper §I: "enable independent software optimization and hardware
 // design space exploration").
 //
-// Sweeps hardware knobs — core count, crossbars per core, ADC channels, NoC
-// link width, ROB size — over a fixed network + compiler, and prints a
-// latency/energy/power Pareto table. Every point reuses the same compiled
-// *software* flow; only the architecture configuration file changes.
+// A thin client of the pim::dse subsystem: declares the hardware axes —
+// core count, crossbars and ADC channels per core, NoC link width, ROB
+// size — as a search space, explores it exhaustively through the parallel
+// evaluator, and prints the ranked Pareto frontier over latency / energy /
+// power / area. Every point reuses the same network description; only the
+// architecture configuration changes. The `pimdse` tool is the same flow
+// with the space loaded from a JSON file (see configs/dse_paper.json).
 #include <cstdio>
-#include <vector>
 
-#include "compiler/compiler.h"
-#include "config/arch_config.h"
-#include "nn/models.h"
-#include "runtime/simulator.h"
-#include "stats/report.h"
+#include "dse/explorer.h"
+#include "json/json.h"
 
 int main(int argc, char** argv) {
   using namespace pim;
 
   const std::string model = argc > 1 ? argv[1] : "squeezenet";
-  nn::ModelOptions mopt;
-  mopt.input_hw = 32;
-  mopt.init_params = false;
-  nn::Graph net = nn::build_model(model, mopt);
-  std::printf("design-space exploration on %s (%lld MACs)\n\n", net.name().c_str(),
-              static_cast<long long>(net.total_macs()));
+  json::Value spec = json::parse(R"({
+    "name": "paper-hardware-axes",
+    "base": "paper",
+    "input_hw": 32,
+    "knobs": {
+      "mesh": ["4x4", "8x8"],
+      "xbars_per_core": [128, 512],
+      "adcs_per_core": [8, 512],
+      "noc_link_bytes": [8, 32],
+      "rob_size": [1, 16]
+    }
+  })");
+  spec["model"] = json::Value(model);
+  const dse::SearchSpace space = dse::SearchSpace::from_json(spec);
 
-  struct Point {
-    const char* name;
-    uint32_t cores, mesh_w, mesh_h, xbars, adcs, link, rob;
+  std::printf("design-space exploration on %s: %llu grid points over %zu hardware knobs\n\n",
+              model.c_str(), static_cast<unsigned long long>(space.grid_size()),
+              space.knobs.size());
+
+  dse::ExploreOptions opts;
+  opts.sampler = "grid";
+  opts.budget = static_cast<size_t>(space.grid_size());
+  opts.progress = [](const dse::EvaluatedPoint& p, size_t done, size_t total) {
+    std::fprintf(stderr, "[%zu/%zu] %-60s %s\n", done, total, p.label.c_str(),
+                 !p.feasible ? "infeasible" : (p.ok ? "ok" : "FAILED"));
   };
-  const std::vector<Point> points = {
-      {"paper (64c, 512xb, rob16)", 64, 8, 8, 512, 512, 32, 16},
-      {"small chip (16c)", 16, 4, 4, 512, 512, 32, 16},
-      {"many small cores (256c, 128xb)", 256, 16, 16, 128, 128, 32, 16},
-      {"adc-starved (8 ADC/core)", 64, 8, 8, 512, 8, 32, 16},
-      {"narrow NoC (8B links)", 64, 8, 8, 512, 512, 8, 16},
-      {"in-order (rob 1)", 64, 8, 8, 512, 512, 32, 1},
-  };
+  const dse::ExploreResult res = dse::explore(space, opts);
 
-  std::vector<std::vector<std::string>> rows;
-  for (const Point& pt : points) {
-    config::ArchConfig cfg = config::ArchConfig::paper_default();
-    cfg.core_count = pt.cores;
-    cfg.mesh_width = pt.mesh_w;
-    cfg.mesh_height = pt.mesh_h;
-    cfg.core.matrix.xbar_count = pt.xbars;
-    cfg.core.matrix.adc_count = pt.adcs;
-    cfg.noc.link_bytes_per_cycle = pt.link;
-    cfg.core.rob_size = pt.rob;
-    cfg.sim.functional = false;
-    cfg.validate();
-
-    compiler::CompileOptions copts;
-    copts.include_weights = false;
-    runtime::Report rep = runtime::simulate_network(net, cfg, copts);
-    rows.push_back({pt.name, stats::fmt(rep.latency_ms()), stats::fmt(rep.energy_uj() / 1e3),
-                    stats::fmt(rep.avg_power_mw()),
-                    std::to_string(rep.compile.mapping.layers.size()),
-                    rep.finished ? "yes" : "NO"});
-  }
-  std::printf("%s\n", stats::markdown_table({"configuration", "latency (ms)", "energy (mJ)",
-                                             "power (mW)", "matrix layers", "finished"},
-                                            rows)
-                          .c_str());
-  std::printf("Every row ran the identical network description — only the architecture\n"
+  std::printf("%s\n", res.frontier_table().c_str());
+  std::printf("%s\n", res.chart().c_str());
+  std::printf("%s\n", res.summary().c_str());
+  std::printf("Every point ran the identical network description — only the architecture\n"
               "configuration file changed. That is the decoupling the ISA buys.\n");
-  return 0;
+  return res.frontier.empty() ? 1 : 0;
 }

@@ -21,8 +21,11 @@ void require(bool cond, const std::string& what) {
 void ArchConfig::validate() const {
   require(core_count > 0, "core_count must be > 0");
   require(mesh_width > 0 && mesh_height > 0, "mesh dimensions must be > 0");
-  require(mesh_width * mesh_height == core_count,
-          "mesh_width*mesh_height (" + std::to_string(mesh_width * mesh_height) +
+  // 64-bit product: an inconsistent mesh must be *reported*, not wrapped
+  // around into a uint32 that happens to equal core_count.
+  const uint64_t mesh_cores = uint64_t{mesh_width} * uint64_t{mesh_height};
+  require(mesh_cores == core_count,
+          "mesh_width*mesh_height (" + std::to_string(mesh_cores) +
               ") must equal core_count (" + std::to_string(core_count) + ")");
   require(core.freq_mhz > 0, "core.freq_mhz must be > 0");
   require(core.rob_size > 0, "core.rob_size must be > 0");

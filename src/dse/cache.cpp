@@ -1,0 +1,87 @@
+#include "dse/cache.h"
+
+#include <filesystem>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace pim::dse {
+
+uint64_t fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string scenario_key(const runtime::Scenario& s) {
+  json::Value v;
+  v["arch"] = s.arch.to_json();
+  v["model"] = json::Value(s.model);
+  v["input_hw"] = json::Value(static_cast<int64_t>(s.input_hw));
+  v["functional"] = json::Value(s.functional);
+  v["input_seed"] = json::Value(s.input_seed);
+  json::Value c;
+  c["policy"] = json::Value(
+      s.copts.policy == compiler::MappingPolicy::UtilizationFirst ? "util" : "perf");
+  c["fuse_relu"] = json::Value(s.copts.fuse_relu);
+  c["replication"] = json::Value(s.copts.replication);
+  c["batch"] = json::Value(s.copts.batch);
+  c["input_gaddr"] = json::Value(s.copts.input_gaddr);
+  c["output_gaddr"] = json::Value(s.copts.output_gaddr);
+  v["copts"] = std::move(c);
+  return v.dump();
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    PIM_LOG(Warn) << "dse cache: cannot create " << dir_ << " (" << ec.message()
+                  << ") — caching disabled";
+    dir_.clear();
+  }
+}
+
+std::string ResultCache::entry_path(const std::string& key) const {
+  return dir_ + "/" + strformat("%016llx", static_cast<unsigned long long>(fnv1a64(key))) +
+         ".json";
+}
+
+bool ResultCache::load(const std::string& key, EvaluatedPoint* out) const {
+  if (!enabled()) return false;
+  const std::string path = entry_path(key);
+  if (!std::filesystem::exists(path)) return false;
+  try {
+    const json::Value v = json::parse_file(path);
+    if (v.get_or("key", "") != key) return false;  // hash collision -> miss
+    out->feasible = true;
+    out->ok = v.get_or("ok", false);
+    out->error = v.get_or("error", "");
+    out->metrics = Metrics::from_json(v.at("metrics"));
+    return true;
+  } catch (const std::exception& e) {
+    PIM_LOG(Warn) << "dse cache: ignoring unreadable entry " << path << ": " << e.what();
+    return false;
+  }
+}
+
+void ResultCache::store(const std::string& key, const EvaluatedPoint& p) const {
+  if (!enabled()) return;
+  json::Value v;
+  v["key"] = json::Value(key);
+  v["label"] = json::Value(p.label);
+  v["ok"] = json::Value(p.ok);
+  if (!p.error.empty()) v["error"] = json::Value(p.error);
+  v["metrics"] = p.metrics.to_json();
+  try {
+    json::write_file(entry_path(key), v);
+  } catch (const std::exception& e) {
+    PIM_LOG(Warn) << "dse cache: cannot write " << entry_path(key) << ": " << e.what();
+  }
+}
+
+}  // namespace pim::dse

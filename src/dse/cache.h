@@ -1,0 +1,62 @@
+// Content-addressed result cache for design-space exploration.
+//
+// Every evaluated point is keyed by the *full canonical description of the
+// simulation* — architecture configuration JSON, workload, input resolution
+// and compile options — so repeated and incremental explorations (a refined
+// space, a different sampler, a bigger budget) skip every point that has
+// already been simulated, regardless of which space file produced it.
+//
+// One cache entry is one JSON file `<dir>/<fnv1a64(key) as hex>.json`
+// holding the key string and the stored metrics. The key is compared
+// verbatim on load, so a hash collision degrades to a miss, never to a
+// wrong result. Entries are immutable once written; the cache directory can
+// be deleted at any time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dse/search_space.h"
+
+namespace pim::dse {
+
+/// FNV-1a 64-bit over `data` (stable across platforms and runs).
+uint64_t fnv1a64(std::string_view data);
+
+/// Canonical cache key of one scenario: compact JSON of everything that
+/// determines the simulation outcome.
+std::string scenario_key(const runtime::Scenario& s);
+
+struct CacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    return lookups() > 0 ? static_cast<double>(hits) / static_cast<double>(lookups()) : 0.0;
+  }
+};
+
+/// Disk-backed result store. An empty directory string disables the cache
+/// (every lookup misses, stores are dropped).
+class ResultCache {
+ public:
+  explicit ResultCache(std::string dir);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Look `key` up; on a hit fills ok/error/metrics of `out` (leaving its
+  /// point/label alone) and returns true.
+  bool load(const std::string& key, EvaluatedPoint* out) const;
+
+  /// Persist one evaluated point under `key`. I/O failures are logged and
+  /// swallowed — a broken cache must never fail an exploration.
+  void store(const std::string& key, const EvaluatedPoint& p) const;
+
+ private:
+  std::string entry_path(const std::string& key) const;
+  std::string dir_;
+};
+
+}  // namespace pim::dse

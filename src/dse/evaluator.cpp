@@ -1,0 +1,100 @@
+#include "dse/evaluator.h"
+
+#include <map>
+
+namespace pim::dse {
+
+double area_proxy_mm2(const config::ArchConfig& cfg) {
+  // Per-unit area constants (mm^2). Order-of-magnitude figures in the spirit
+  // of ISAAC/PUMA-style estimates: a 4F^2 memristor cell at F ~ 50 nm, a
+  // compact SAR ADC, SRAM at ~0.2 mm^2/MB. The absolute scale is a proxy;
+  // only monotonicity in each knob matters for frontier extraction.
+  constexpr double kCellMm2 = 1e-8;           // one memristor cell
+  constexpr double kAdcMm2 = 1.5e-3;          // one SAR ADC channel
+  constexpr double kLaneMm2 = 2e-3;           // one vector SIMD lane
+  constexpr double kSramMm2PerByte = 0.2 / (1024.0 * 1024.0);
+  constexpr double kCoreLogicMm2 = 0.05;      // front end, scalar unit, misc
+  constexpr double kRobEntryMm2 = 2e-3;       // ROB + wakeup CAM per entry
+  constexpr double kRouterMm2 = 0.05;         // mesh router at 32 B/cycle links
+
+  const config::CoreConfig& core = cfg.core;
+  const double xbar_cells = static_cast<double>(core.matrix.xbar.rows) *
+                            static_cast<double>(core.matrix.xbar.cols);
+  double core_area = 0.0;
+  core_area += static_cast<double>(core.matrix.xbar_count) * xbar_cells * kCellMm2;
+  core_area += static_cast<double>(core.matrix.adc_count) * kAdcMm2;
+  core_area += static_cast<double>(core.vector.lanes) * kLaneMm2;
+  core_area += static_cast<double>(core.local_memory.size_bytes) * kSramMm2PerByte;
+  core_area += kCoreLogicMm2 + static_cast<double>(core.rob_size) * kRobEntryMm2;
+
+  // Router datapath area scales with link width.
+  const double router = kRouterMm2 * static_cast<double>(cfg.noc.link_bytes_per_cycle) / 32.0;
+  return static_cast<double>(cfg.core_count) * (core_area + router);
+}
+
+Evaluator::Evaluator(const SearchSpace& space, unsigned jobs, std::string cache_dir)
+    : space_(space), runner_(jobs), cache_(std::move(cache_dir)) {}
+
+std::vector<EvaluatedPoint> Evaluator::evaluate(const std::vector<Point>& points) {
+  std::vector<EvaluatedPoint> out(points.size());
+  std::vector<size_t> to_run;        // indices into `out`
+  std::vector<runtime::Scenario> scenarios;
+  std::vector<std::string> keys;     // parallel to `to_run`
+  size_t resolved = 0;
+
+  for (size_t i = 0; i < points.size(); ++i) {
+    EvaluatedPoint& ep = out[i];
+    ep.point = points[i];
+    ep.label = point_label(points[i]);
+
+    MaterializedPoint m = materialize(space_, points[i]);
+    if (!m.feasible) {
+      ep.feasible = false;
+      ep.error = m.error;
+      if (progress_) progress_(ep, ++resolved, points.size());
+      continue;
+    }
+    const std::string key = scenario_key(m.scenario);
+    if (cache_.load(key, &ep)) {
+      ep.from_cache = true;
+      ++stats_.hits;
+      if (progress_) progress_(ep, ++resolved, points.size());
+      continue;
+    }
+    ++stats_.misses;
+    to_run.push_back(i);
+    keys.push_back(key);
+    scenarios.push_back(std::move(m.scenario));
+  }
+
+  if (!scenarios.empty()) {
+    // Fill results from the BatchRunner completion callback (serialized by
+    // the runner) so cache writes and progress reporting happen as each
+    // point finishes, not after the whole batch.
+    std::map<std::string, size_t> by_name;  // scenario name -> index into to_run
+    for (size_t j = 0; j < scenarios.size(); ++j) by_name[scenarios[j].name] = j;
+    runner_.set_progress([&](const runtime::ScenarioResult& r, size_t, size_t) {
+      const size_t j = by_name.at(r.name);
+      EvaluatedPoint& ep = out[to_run[j]];
+      ep.feasible = true;
+      ep.ok = r.ok;
+      ep.error = r.error;
+      if (r.ok) {
+        ep.metrics.latency_ms = r.report.latency_ms();
+        ep.metrics.energy_uj = r.report.energy_uj();
+        ep.metrics.power_mw = r.report.avg_power_mw();
+        ep.metrics.area_mm2 = area_proxy_mm2(scenarios[j].arch);
+        ep.metrics.instructions = r.report.stats.total_instructions();
+        ep.metrics.noc_bytes = r.report.stats.total_bytes_on_noc();
+        ep.metrics.total_ps = static_cast<uint64_t>(r.report.stats.total_ps);
+      }
+      cache_.store(keys[j], ep);
+      if (progress_) progress_(ep, ++resolved, points.size());
+    });
+    runner_.run(scenarios);
+    runner_.set_progress(nullptr);
+  }
+  return out;
+}
+
+}  // namespace pim::dse

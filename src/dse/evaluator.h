@@ -1,0 +1,57 @@
+// Point evaluator: turns search-space points into runtime::BatchRunner
+// scenarios, fans the uncached ones out across host threads, and serves the
+// rest from the on-disk result cache (cache.h).
+//
+// Results are deterministic: the returned vector is in input order, each
+// simulation is bit-identical regardless of the job count (the BatchRunner
+// guarantee), and cached metrics round-trip exactly (JSON doubles are
+// written with 17 significant digits).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dse/cache.h"
+#include "dse/search_space.h"
+#include "runtime/batch_runner.h"
+
+namespace pim::dse {
+
+/// Analytic silicon-area proxy [mm^2] of one configuration — the fourth DSE
+/// objective. Not a layout estimate: a monotonic cost model (crossbar cells,
+/// ADCs, SIMD lanes, SRAM, ROB, routers scaled by link width) that lets the
+/// Pareto frontier trade performance against hardware spent. Deterministic
+/// in the configuration alone.
+double area_proxy_mm2(const config::ArchConfig& cfg);
+
+/// Evaluates points through BatchRunner, consulting the result cache first.
+class Evaluator {
+ public:
+  /// `jobs` as in BatchRunner (0 = all hardware threads); `cache_dir` empty
+  /// disables caching.
+  explicit Evaluator(const SearchSpace& space, unsigned jobs = 0, std::string cache_dir = {});
+
+  /// Called after each point resolves (cache hit or simulation), serialized:
+  /// (point, resolved count, total count of this evaluate() call).
+  using Progress = std::function<void(const EvaluatedPoint&, size_t, size_t)>;
+  void set_progress(Progress cb) { progress_ = std::move(cb); }
+
+  /// Evaluate every point; infeasible points are reported, not simulated.
+  /// Never throws for per-point failures. Results are in input order.
+  std::vector<EvaluatedPoint> evaluate(const std::vector<Point>& points);
+
+  /// Cumulative over all evaluate() calls (infeasible points don't count).
+  const CacheStats& cache_stats() const { return stats_; }
+  unsigned jobs() const { return runner_.jobs(); }
+  const ResultCache& cache() const { return cache_; }
+
+ private:
+  const SearchSpace& space_;
+  runtime::BatchRunner runner_;
+  ResultCache cache_;
+  CacheStats stats_;
+  Progress progress_;
+};
+
+}  // namespace pim::dse

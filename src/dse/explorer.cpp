@@ -1,0 +1,161 @@
+#include "dse/explorer.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/strings.h"
+#include "dse/pareto.h"
+#include "stats/report.h"
+
+namespace pim::dse {
+namespace {
+
+std::vector<const EvaluatedPoint*> usable_points(const std::vector<EvaluatedPoint>& pts) {
+  std::vector<const EvaluatedPoint*> out;
+  for (const EvaluatedPoint& p : pts) {
+    if (p.feasible && p.ok) out.push_back(&p);
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t ExploreResult::infeasible_count() const {
+  return static_cast<size_t>(
+      std::count_if(points.begin(), points.end(),
+                    [](const EvaluatedPoint& p) { return !p.feasible; }));
+}
+
+size_t ExploreResult::failed_count() const {
+  return static_cast<size_t>(
+      std::count_if(points.begin(), points.end(),
+                    [](const EvaluatedPoint& p) { return p.feasible && !p.ok; }));
+}
+
+json::Value ExploreResult::to_json() const {
+  json::Value v;
+  v["space"] = json::Value(space_name);
+  v["sampler"] = json::Value(sampler);
+  json::Array objs;
+  for (const std::string& o : objectives) objs.push_back(json::Value(o));
+  v["objectives"] = json::Value(std::move(objs));
+  v["evaluated"] = json::Value(points.size());
+  v["infeasible"] = json::Value(infeasible_count());
+  v["failed"] = json::Value(failed_count());
+  json::Array pts;
+  pts.reserve(points.size());
+  for (const EvaluatedPoint& p : points) pts.push_back(p.to_json());
+  v["points"] = json::Value(std::move(pts));
+  json::Array front;
+  for (const size_t i : frontier) front.push_back(json::Value(static_cast<int64_t>(i)));
+  v["frontier"] = json::Value(std::move(front));
+  return v;
+}
+
+std::string ExploreResult::frontier_table() const {
+  std::vector<std::string> header = {"rank", "point"};
+  for (const std::string& o : objectives) header.push_back(o);
+  std::vector<std::vector<std::string>> rows;
+  for (size_t r = 0; r < frontier.size(); ++r) {
+    const EvaluatedPoint& p = points[frontier[r]];
+    std::vector<std::string> row = {std::to_string(r + 1), p.label};
+    for (const std::string& o : objectives) row.push_back(stats::fmt(p.metrics.objective(o)));
+    rows.push_back(std::move(row));
+  }
+  return stats::markdown_table(header, rows);
+}
+
+std::string ExploreResult::csv() const {
+  const std::vector<std::string> header = {"point",      "feasible",  "ok",
+                                           "latency_ms", "energy_uj", "power_mw",
+                                           "area_mm2",   "instructions", "pareto"};
+  std::vector<std::vector<std::string>> rows;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const EvaluatedPoint& p = points[i];
+    const bool on_front = std::find(frontier.begin(), frontier.end(), i) != frontier.end();
+    if (p.feasible && p.ok) {
+      rows.push_back({p.label, "1", "1", stats::fmt(p.metrics.latency_ms),
+                      stats::fmt(p.metrics.energy_uj), stats::fmt(p.metrics.power_mw),
+                      stats::fmt(p.metrics.area_mm2), std::to_string(p.metrics.instructions),
+                      on_front ? "1" : "0"});
+    } else {
+      rows.push_back({p.label, p.feasible ? "1" : "0", "0", "", "", "", "", "", "0"});
+    }
+  }
+  return stats::csv(header, rows);
+}
+
+std::string ExploreResult::chart() const {
+  if (objectives.size() < 2) return "";
+  const std::vector<const EvaluatedPoint*> usable = usable_points(points);
+  if (usable.empty()) return "";
+  std::vector<double> xs, ys;
+  std::vector<bool> starred;
+  for (const EvaluatedPoint* p : usable) {
+    xs.push_back(p->metrics.objective(objectives[0]));
+    ys.push_back(p->metrics.objective(objectives[1]));
+    bool on_front = false;
+    for (const size_t i : frontier) on_front = on_front || &points[i] == p;
+    starred.push_back(on_front);
+  }
+  return stats::scatter_chart("design space (" + objectives[0] + " vs " + objectives[1] +
+                                  ", * = Pareto frontier)",
+                              objectives[0], objectives[1], xs, ys, starred);
+}
+
+std::string ExploreResult::summary() const {
+  return strformat(
+      "evaluated %zu points (%zu infeasible, %zu failed) — Pareto frontier: %zu points",
+      points.size(), infeasible_count(), failed_count(), frontier.size());
+}
+
+ExploreResult explore(const SearchSpace& space, const ExploreOptions& opts) {
+  const auto start = std::chrono::steady_clock::now();
+
+  ExploreResult res;
+  res.space_name = space.name;
+  res.objectives = space.objectives;
+
+  std::unique_ptr<Sampler> sampler = make_sampler(opts.sampler, space, opts.seed);
+  res.sampler = sampler->name();
+
+  Evaluator evaluator(space, opts.jobs, opts.cache_dir);
+  if (opts.progress) evaluator.set_progress(opts.progress);
+  res.jobs = evaluator.jobs();
+
+  while (res.points.size() < opts.budget) {
+    const size_t remaining = opts.budget - res.points.size();
+    const size_t ask = std::min(remaining, sampler->generation_size());
+    std::vector<Point> proposed = sampler->propose(ask, res.points);
+    if (proposed.empty()) break;  // space exhausted
+    std::vector<EvaluatedPoint> evaluated = evaluator.evaluate(proposed);
+    res.points.insert(res.points.end(), std::make_move_iterator(evaluated.begin()),
+                      std::make_move_iterator(evaluated.end()));
+  }
+
+  // Frontier over the feasible, finished points, reported as indices into
+  // the full evaluation-order list and ranked by the first objective.
+  std::vector<size_t> usable_idx;
+  std::vector<std::vector<double>> objs;
+  for (size_t i = 0; i < res.points.size(); ++i) {
+    if (res.points[i].feasible && res.points[i].ok) {
+      usable_idx.push_back(i);
+      objs.push_back(res.points[i].objective_values(space.objectives));
+    }
+  }
+  for (const size_t local : pareto_frontier(objs)) {
+    res.frontier.push_back(usable_idx[local]);
+  }
+  std::stable_sort(res.frontier.begin(), res.frontier.end(), [&](size_t a, size_t b) {
+    return res.points[a].metrics.objective(space.objectives[0]) <
+           res.points[b].metrics.objective(space.objectives[0]);
+  });
+
+  res.cache = evaluator.cache_stats();
+  res.wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                          start)
+                    .count();
+  return res;
+}
+
+}  // namespace pim::dse

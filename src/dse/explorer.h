@@ -1,0 +1,59 @@
+// Exploration driver: sampler -> evaluator -> Pareto analysis, with
+// reporting. This is the programmatic face of the `pimdse` CLI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/evaluator.h"
+#include "dse/sampler.h"
+#include "dse/search_space.h"
+
+namespace pim::dse {
+
+struct ExploreOptions {
+  std::string sampler = "grid";
+  size_t budget = 64;            ///< max points to evaluate (cache hits included)
+  uint64_t seed = 1;             ///< sampler seed (random / evolve)
+  unsigned jobs = 0;             ///< BatchRunner jobs; 0 = all hardware threads
+  std::string cache_dir;         ///< empty = no result cache
+  Evaluator::Progress progress;  ///< optional per-point callback
+};
+
+struct ExploreResult {
+  std::string space_name;
+  std::string sampler;
+  std::vector<std::string> objectives;
+  std::vector<EvaluatedPoint> points;  ///< evaluation order
+  std::vector<size_t> frontier;        ///< indices into `points`, sorted by
+                                       ///< the first objective (ascending)
+  CacheStats cache;
+  unsigned jobs = 1;
+  double wall_ms = 0.0;                ///< host wall-clock of the exploration
+
+  size_t infeasible_count() const;
+  size_t failed_count() const;
+
+  /// Deterministic dump (no cache statistics, no host timing): two runs of
+  /// the same exploration produce byte-identical JSON, warm or cold cache.
+  json::Value to_json() const;
+
+  /// Ranked Pareto frontier as a markdown table.
+  std::string frontier_table() const;
+  /// Every evaluated point as CSV (label, status, all metrics).
+  std::string csv() const;
+  /// ASCII scatter of the first two objectives, frontier points starred.
+  std::string chart() const;
+  /// One-line outcome: point counts and frontier size.
+  std::string summary() const;
+};
+
+/// Run one exploration: propose points with the sampler until `budget`
+/// points are evaluated or the sampler is exhausted, then extract the
+/// Pareto frontier over the space's objectives (feasible, finished points
+/// only). Deterministic for a given (space, sampler, seed, budget)
+/// regardless of `jobs` and of the cache state.
+ExploreResult explore(const SearchSpace& space, const ExploreOptions& opts = {});
+
+}  // namespace pim::dse

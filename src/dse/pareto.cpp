@@ -1,0 +1,26 @@
+#include "dse/pareto.h"
+
+namespace pim::dse {
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  bool strictly_better = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<size_t> pareto_frontier(const std::vector<std::vector<double>>& rows) {
+  std::vector<size_t> front;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < rows.size() && !dominated; ++j) {
+      dominated = j != i && dominates(rows[j], rows[i]);
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+}  // namespace pim::dse

@@ -1,0 +1,18 @@
+// Multi-objective Pareto analysis (minimization on every objective).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pim::dse {
+
+/// True iff `a` is no worse than `b` on every objective and strictly better
+/// on at least one. Vectors must have equal, nonzero length.
+bool dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Indices of the non-dominated rows, in input order. Duplicate objective
+/// vectors are all kept (they don't dominate each other). O(n^2) — fine for
+/// the point counts a simulator-backed DSE can afford.
+std::vector<size_t> pareto_frontier(const std::vector<std::vector<double>>& rows);
+
+}  // namespace pim::dse

@@ -1,0 +1,198 @@
+#include "dse/sampler.h"
+
+#include <random>
+#include <stdexcept>
+
+#include "dse/pareto.h"
+
+namespace pim::dse {
+namespace {
+
+/// Assemble the point selected by per-knob value indices.
+Point point_from_indices(const SearchSpace& space, const std::vector<size_t>& idx) {
+  Point p;
+  for (size_t k = 0; k < space.knobs.size(); ++k) {
+    p[space.knobs[k].name] = space.knobs[k].values[idx[k]];
+  }
+  return p;
+}
+
+// ----------------------------------------------------------------------- grid
+
+class GridSampler final : public Sampler {
+ public:
+  explicit GridSampler(const SearchSpace& space)
+      : Sampler(space), cursor_(space.knobs.size(), 0) {}
+
+  std::string name() const override { return "grid"; }
+
+  std::vector<Point> propose(size_t max_points,
+                             const std::vector<EvaluatedPoint>&) override {
+    std::vector<Point> out;
+    while (!exhausted_ && out.size() < max_points) {
+      out.push_back(point_from_indices(space_, cursor_));
+      // Odometer increment, last knob fastest.
+      size_t k = cursor_.size();
+      for (;;) {
+        if (k == 0) {
+          exhausted_ = true;
+          break;
+        }
+        --k;
+        if (++cursor_[k] < space_.knobs[k].values.size()) break;
+        cursor_[k] = 0;
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<size_t> cursor_;
+  bool exhausted_ = false;
+};
+
+// --------------------------------------------------------------------- random
+
+class RandomSampler final : public Sampler {
+ public:
+  RandomSampler(const SearchSpace& space, uint64_t seed) : Sampler(space), rng_(seed) {}
+
+  std::string name() const override { return "random"; }
+
+  std::vector<Point> propose(size_t max_points,
+                             const std::vector<EvaluatedPoint>& history) override {
+    for (const EvaluatedPoint& h : history) seen_.insert(point_key(h.point));
+    std::vector<Point> out;
+    // Sampling without replacement by rejection; bail out once the space is
+    // plausibly exhausted so small spaces with big budgets still terminate.
+    size_t rejections = 0;
+    const size_t max_rejections = 64 * max_points + 1024;
+    while (out.size() < max_points && rejections < max_rejections) {
+      std::vector<size_t> idx(space_.knobs.size());
+      for (size_t k = 0; k < idx.size(); ++k) {
+        idx[k] = std::uniform_int_distribution<size_t>(
+            0, space_.knobs[k].values.size() - 1)(rng_);
+      }
+      Point p = point_from_indices(space_, idx);
+      if (seen_.insert(point_key(p)).second) {
+        out.push_back(std::move(p));
+      } else {
+        ++rejections;
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::mt19937_64 rng_;
+  std::set<std::string> seen_;
+};
+
+// --------------------------------------------------------------------- evolve
+
+/// (1+λ) hill climb over the Pareto frontier: every generation mutates the
+/// current non-dominated points one knob at a time (stepping to a
+/// neighboring value with probability 3/4, teleporting to a uniform value
+/// otherwise), topping the generation up with fresh random points when the
+/// neighborhood is exhausted.
+class EvolveSampler final : public Sampler {
+ public:
+  EvolveSampler(const SearchSpace& space, uint64_t seed) : Sampler(space), rng_(seed) {}
+
+  std::string name() const override { return "evolve"; }
+  size_t generation_size() const override { return kGeneration; }
+
+  std::vector<Point> propose(size_t max_points,
+                             const std::vector<EvaluatedPoint>& history) override {
+    for (const EvaluatedPoint& h : history) seen_.insert(point_key(h.point));
+
+    std::vector<const EvaluatedPoint*> usable;
+    for (const EvaluatedPoint& h : history) {
+      if (h.feasible && h.ok) usable.push_back(&h);
+    }
+
+    std::vector<Point> out;
+    if (!usable.empty()) {
+      std::vector<std::vector<double>> objs;
+      objs.reserve(usable.size());
+      for (const EvaluatedPoint* e : usable) {
+        objs.push_back(e->objective_values(space_.objectives));
+      }
+      const std::vector<size_t> front = pareto_frontier(objs);
+      for (size_t i = 0; out.size() < max_points && i < 8 * max_points; ++i) {
+        Point child = mutate(usable[front[i % front.size()]]->point);
+        if (seen_.insert(point_key(child)).second) out.push_back(std::move(child));
+      }
+    }
+    // Seed generation, or refill when mutation can't find new neighbors.
+    size_t rejections = 0;
+    while (out.size() < max_points && rejections < 64 * max_points + 1024) {
+      Point p = random_point();
+      if (seen_.insert(point_key(p)).second) {
+        out.push_back(std::move(p));
+      } else {
+        ++rejections;
+      }
+    }
+    return out;
+  }
+
+ private:
+  static constexpr size_t kGeneration = 8;
+
+  Point random_point() {
+    std::vector<size_t> idx(space_.knobs.size());
+    for (size_t k = 0; k < idx.size(); ++k) {
+      idx[k] = std::uniform_int_distribution<size_t>(
+          0, space_.knobs[k].values.size() - 1)(rng_);
+    }
+    return point_from_indices(space_, idx);
+  }
+
+  Point mutate(const Point& parent) {
+    Point child = parent;
+    const size_t k =
+        std::uniform_int_distribution<size_t>(0, space_.knobs.size() - 1)(rng_);
+    const Knob& knob = space_.knobs[k];
+    const size_t card = knob.values.size();
+    // Current value's index in the knob domain.
+    size_t cur = 0;
+    const auto it = child.find(knob.name);
+    for (size_t i = 0; i < card; ++i) {
+      if (it != child.end() && knob.values[i] == it->second) {
+        cur = i;
+        break;
+      }
+    }
+    size_t next = cur;
+    if (card > 1) {
+      if (std::uniform_int_distribution<int>(0, 3)(rng_) != 0) {
+        // Neighbor step along the (ordered) domain.
+        const bool up = cur + 1 < card &&
+                        (cur == 0 || std::uniform_int_distribution<int>(0, 1)(rng_) == 1);
+        next = up ? cur + 1 : cur - 1;
+      } else {
+        next = std::uniform_int_distribution<size_t>(0, card - 2)(rng_);
+        if (next >= cur) ++next;  // uniform over the *other* values
+      }
+    }
+    child[knob.name] = knob.values[next];
+    return child;
+  }
+
+  std::mt19937_64 rng_;
+  std::set<std::string> seen_;
+};
+
+}  // namespace
+
+std::unique_ptr<Sampler> make_sampler(const std::string& kind, const SearchSpace& space,
+                                      uint64_t seed) {
+  if (kind == "grid") return std::make_unique<GridSampler>(space);
+  if (kind == "random") return std::make_unique<RandomSampler>(space, seed);
+  if (kind == "evolve") return std::make_unique<EvolveSampler>(space, seed);
+  throw std::invalid_argument("dse: unknown sampler \"" + kind +
+                              "\" (expected grid|random|evolve)");
+}
+
+}  // namespace pim::dse

@@ -1,0 +1,54 @@
+// Samplers: strategies for picking which points of a search space to
+// evaluate. All three are deterministic — the same space, seed and
+// evaluation history always propose the same points, independent of the
+// host thread count — which is what makes exploration results reproducible
+// and the result cache effective across runs.
+//
+//   grid    exhaustive cartesian product, knobs in name order
+//           (the last knob varies fastest)
+//   random  seeded uniform sampling without replacement
+//   evolve  (1+λ)-style hill climb: seeds with random points, then mutates
+//           the current Pareto frontier one knob at a time
+//
+// Samplers are incremental: explore() (explorer.h) repeatedly calls
+// propose() with the evaluation history so far and stops when the budget is
+// spent or the sampler returns no new points.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dse/search_space.h"
+
+namespace pim::dse {
+
+class Sampler {
+ public:
+  explicit Sampler(const SearchSpace& space) : space_(space) {}
+  virtual ~Sampler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Points per propose() round. Iterative samplers return a small constant
+  /// so they see fresh history between generations; one-shot samplers
+  /// return SIZE_MAX (the explorer passes the whole remaining budget).
+  virtual size_t generation_size() const { return SIZE_MAX; }
+
+  /// Propose up to `max_points` points not proposed before. An empty return
+  /// means the sampler is exhausted.
+  virtual std::vector<Point> propose(size_t max_points,
+                                     const std::vector<EvaluatedPoint>& history) = 0;
+
+ protected:
+  const SearchSpace& space_;
+};
+
+/// kind: "grid" | "random" | "evolve". Throws std::invalid_argument on
+/// anything else.
+std::unique_ptr<Sampler> make_sampler(const std::string& kind, const SearchSpace& space,
+                                      uint64_t seed = 1);
+
+}  // namespace pim::dse

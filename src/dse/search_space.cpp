@@ -1,0 +1,402 @@
+#include "dse/search_space.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "common/strings.h"
+#include "nn/models.h"
+
+namespace pim::dse {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("SearchSpace: " + what);
+}
+
+/// Render a knob value compactly: strings without quotes, numbers via dump.
+std::string value_str(const json::Value& v) {
+  return v.is_string() ? v.as_string() : v.dump();
+}
+
+compiler::MappingPolicy parse_policy(const std::string& p) {
+  if (p == "perf") return compiler::MappingPolicy::PerformanceFirst;
+  if (p == "util") return compiler::MappingPolicy::UtilizationFirst;
+  fail("policy must be \"perf\" or \"util\", got \"" + p + "\"");
+}
+
+/// "WxH" -> {W, H}; throws on anything else (including trailing junk).
+std::pair<uint32_t, uint32_t> parse_mesh(const std::string& text) {
+  const std::vector<std::string> parts = split(text, 'x');
+  if (parts.size() == 2 && !parts[0].empty() && !parts[1].empty()) {
+    char* wend = nullptr;
+    char* hend = nullptr;
+    const unsigned long w = std::strtoul(parts[0].c_str(), &wend, 10);
+    const unsigned long h = std::strtoul(parts[1].c_str(), &hend, 10);
+    if (*wend == '\0' && *hend == '\0' && w >= 1 && h >= 1 && w <= 0xfffffffful &&
+        h <= 0xfffffffful) {
+      return {static_cast<uint32_t>(w), static_cast<uint32_t>(h)};
+    }
+  }
+  fail("mesh values must look like \"8x8\", got \"" + text + "\"");
+}
+
+uint32_t positive_u32(const std::string& knob, const json::Value& v) {
+  if (!v.is_int() || v.as_int() < 1) {
+    fail("knob \"" + knob + "\": values must be integers >= 1, got " + v.dump());
+  }
+  return static_cast<uint32_t>(v.as_int());
+}
+
+double positive_number(const std::string& knob, const json::Value& v) {
+  if (!v.is_number() || v.as_double() <= 0.0) {
+    fail("knob \"" + knob + "\": values must be numbers > 0, got " + v.dump());
+  }
+  return v.as_double();
+}
+
+/// The squarest w*h == core_count factorization (same rule as
+/// config::ArchConfig::from_json applies when mesh dims are omitted).
+void derive_squarest_mesh(config::ArchConfig* cfg) {
+  uint32_t w = 1;
+  for (uint32_t i = 1; static_cast<uint64_t>(i) * i <= cfg->core_count; ++i) {
+    if (cfg->core_count % i == 0) w = i;
+  }
+  cfg->mesh_height = w;
+  cfg->mesh_width = cfg->core_count / w;
+}
+
+/// Expand one knob's JSON spec into its ordered value list.
+std::vector<json::Value> expand_values(const std::string& name, const json::Value& spec) {
+  if (spec.is_array()) {
+    if (spec.size() == 0) fail("knob \"" + name + "\" has an empty value list");
+    return spec.as_array();
+  }
+  if (!spec.is_object()) {
+    fail("knob \"" + name + "\": expected a value list or a range object, got " + spec.dump());
+  }
+  if (spec.contains("values")) return expand_values(name, spec.at("values"));
+
+  std::vector<json::Value> out;
+  if (spec.contains("range")) {
+    const json::Value& r = spec.at("range");
+    if (!r.is_array() || r.size() != 2) fail("knob \"" + name + "\": \"range\" must be [lo, hi]");
+    const bool int_range = r.at(0).is_int() && r.at(1).is_int() &&
+                           (!spec.contains("step") || spec.at("step").is_int());
+    if (int_range) {
+      const int64_t lo = r.at(0).as_int(), hi = r.at(1).as_int();
+      const int64_t step = spec.get_or("step", int64_t{1});
+      if (step < 1 || hi < lo) fail("knob \"" + name + "\": bad range [lo, hi] / step");
+      for (int64_t v = lo; v <= hi; v += step) out.push_back(json::Value(v));
+    } else {
+      const double lo = r.at(0).as_double(), hi = r.at(1).as_double();
+      const double step = spec.get_or("step", 1.0);
+      if (step <= 0.0 || hi < lo) fail("knob \"" + name + "\": bad range [lo, hi] / step");
+      for (double v = lo; v <= hi + 1e-12; v += step) out.push_back(json::Value(v));
+    }
+    return out;
+  }
+  if (spec.contains("log2_range") || spec.contains("log_range")) {
+    const json::Value& r = spec.contains("log2_range") ? spec.at("log2_range") : spec.at("log_range");
+    if (!r.is_array() || r.size() != 2 || !r.at(0).is_int() || !r.at(1).is_int()) {
+      fail("knob \"" + name + "\": \"log2_range\" must be [lo, hi] with integer bounds");
+    }
+    const int64_t lo = r.at(0).as_int(), hi = r.at(1).as_int();
+    const int64_t factor = spec.get_or("factor", int64_t{2});
+    if (lo < 1 || hi < lo || factor < 2) {
+      fail("knob \"" + name + "\": log range needs 1 <= lo <= hi and factor >= 2");
+    }
+    for (int64_t v = lo; v <= hi; v *= factor) out.push_back(json::Value(v));
+    return out;
+  }
+  fail("knob \"" + name + "\": range object needs \"values\", \"range\" or \"log2_range\"");
+}
+
+/// Apply one structured knob onto the scenario/config being built. Returns
+/// false when `name` is not a structured knob (the caller falls back to the
+/// dotted-path form); throws on a malformed value. The single registry of
+/// structured knobs: parse-time validation runs this same function against
+/// scratch objects, so the two can never drift apart.
+bool apply_structured_knob(const std::string& name, const json::Value& v,
+                           config::ArchConfig* cfg, runtime::Scenario* s) {
+  if (name == "model") {
+    const std::string m = v.as_string();
+    const std::vector<std::string> zoo = nn::model_names();
+    if (m != "mlp" && std::find(zoo.begin(), zoo.end(), m) == zoo.end()) {
+      fail("knob \"model\": unknown network \"" + m + "\"");
+    }
+    s->model = m;
+  } else if (name == "policy") {
+    s->copts.policy = parse_policy(v.as_string());
+  } else if (name == "batch") {
+    s->copts.batch = positive_u32(name, v);
+  } else if (name == "replication") {
+    s->copts.replication = positive_u32(name, v);
+  } else if (name == "fuse_relu") {
+    if (!v.is_bool()) fail("knob \"fuse_relu\": values must be booleans");
+    s->copts.fuse_relu = v.as_bool();
+  } else if (name == "input_hw") {
+    s->input_hw = static_cast<int32_t>(positive_u32(name, v));
+  } else if (name == "core_count") {
+    cfg->core_count = positive_u32(name, v);
+  } else if (name == "mesh") {
+    const auto [w, h] = parse_mesh(v.as_string());
+    cfg->mesh_width = w;
+    cfg->mesh_height = h;
+  } else if (name == "xbars_per_core") {
+    cfg->core.matrix.xbar_count = positive_u32(name, v);
+  } else if (name == "adcs_per_core") {
+    cfg->core.matrix.adc_count = positive_u32(name, v);
+  } else if (name == "noc_link_bytes") {
+    cfg->noc.link_bytes_per_cycle = positive_u32(name, v);
+  } else if (name == "rob_size") {
+    cfg->core.rob_size = positive_u32(name, v);
+  } else if (name == "freq_mhz") {
+    cfg->core.freq_mhz = positive_number(name, v);
+  } else if (name == "noc_freq_mhz") {
+    cfg->noc.freq_mhz = positive_number(name, v);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Type/validity check of one candidate value, at parse time. `base_json`
+/// lets dotted-path knobs verify the path exists in the config schema.
+void check_knob_value(const std::string& name, const json::Value& v,
+                      const json::Value& base_json) {
+  config::ArchConfig scratch_cfg;
+  runtime::Scenario scratch_s;
+  if (apply_structured_knob(name, v, &scratch_cfg, &scratch_s)) return;
+  if (name.find('.') != std::string::npos) {
+    json::Value patched = base_json;
+    set_json_path(&patched, name, v);  // throws on unknown path / type change
+    return;
+  }
+  fail("unknown knob \"" + name + "\" (not a structured knob, and not a dotted "
+       "config path such as \"core.local_memory.size_bytes\")");
+}
+
+}  // namespace
+
+void set_json_path(json::Value* root, const std::string& dotted, const json::Value& v) {
+  json::Value* node = root;
+  const std::vector<std::string> parts = split(dotted, '.');
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (!node->is_object() || !node->contains(parts[i])) {
+      fail("unknown config path \"" + dotted + "\" (no \"" + parts[i] + "\")");
+    }
+    node = &(*node)[parts[i]];
+  }
+  const std::string& leaf = parts.back();
+  if (!node->is_object() || !node->contains(leaf)) {
+    fail("unknown config path \"" + dotted + "\" (no \"" + leaf + "\")");
+  }
+  const json::Value& old = node->at(leaf);
+  const bool both_numbers = old.is_number() && v.is_number();
+  if (!both_numbers && old.type() != v.type()) {
+    fail("config path \"" + dotted + "\": value " + v.dump() +
+         " does not match the schema type of " + old.dump());
+  }
+  (*node)[leaf] = v;
+}
+
+std::string point_label(const Point& p) {
+  std::string out;
+  for (const auto& [k, v] : p) {
+    if (!out.empty()) out += ' ';
+    out += k + "=" + value_str(v);
+  }
+  return out.empty() ? "base" : out;
+}
+
+std::string point_key(const Point& p) {
+  json::Object o(p.begin(), p.end());
+  return json::Value(std::move(o)).dump();
+}
+
+// -------------------------------------------------------------------- Metrics
+
+double Metrics::objective(const std::string& name) const {
+  if (name == "latency_ms") return latency_ms;
+  if (name == "energy_uj") return energy_uj;
+  if (name == "power_mw") return power_mw;
+  if (name == "area_mm2") return area_mm2;
+  throw std::invalid_argument("Metrics: unknown objective \"" + name + "\"");
+}
+
+json::Value Metrics::to_json() const {
+  json::Value v;
+  v["latency_ms"] = json::Value(latency_ms);
+  v["energy_uj"] = json::Value(energy_uj);
+  v["power_mw"] = json::Value(power_mw);
+  v["area_mm2"] = json::Value(area_mm2);
+  v["instructions"] = json::Value(instructions);
+  v["noc_bytes"] = json::Value(noc_bytes);
+  v["total_ps"] = json::Value(total_ps);
+  return v;
+}
+
+Metrics Metrics::from_json(const json::Value& v) {
+  Metrics m;
+  m.latency_ms = v.get_or("latency_ms", 0.0);
+  m.energy_uj = v.get_or("energy_uj", 0.0);
+  m.power_mw = v.get_or("power_mw", 0.0);
+  m.area_mm2 = v.get_or("area_mm2", 0.0);
+  m.instructions = v.get_or("instructions", uint64_t{0});
+  m.noc_bytes = v.get_or("noc_bytes", uint64_t{0});
+  m.total_ps = v.get_or("total_ps", uint64_t{0});
+  return m;
+}
+
+// ------------------------------------------------------------- EvaluatedPoint
+
+std::vector<double> EvaluatedPoint::objective_values(
+    const std::vector<std::string>& objectives) const {
+  std::vector<double> out;
+  out.reserve(objectives.size());
+  for (const std::string& o : objectives) out.push_back(metrics.objective(o));
+  return out;
+}
+
+json::Value EvaluatedPoint::to_json() const {
+  json::Value v;
+  v["point"] = json::Value(json::Object(point.begin(), point.end()));
+  v["label"] = json::Value(label);
+  v["feasible"] = json::Value(feasible);
+  v["ok"] = json::Value(ok);
+  if (!error.empty()) v["error"] = json::Value(error);
+  if (feasible && ok) v["metrics"] = metrics.to_json();
+  return v;
+}
+
+// ---------------------------------------------------------------- SearchSpace
+
+uint64_t SearchSpace::grid_size() const {
+  uint64_t n = 1;
+  for (const Knob& k : knobs) {
+    const uint64_t card = k.values.size();
+    if (card != 0 && n > std::numeric_limits<uint64_t>::max() / card) {
+      return std::numeric_limits<uint64_t>::max();
+    }
+    n *= card;
+  }
+  return n;
+}
+
+const Knob* SearchSpace::find_knob(const std::string& name) const {
+  for (const Knob& k : knobs) {
+    if (k.name == name) return &k;
+  }
+  return nullptr;
+}
+
+SearchSpace SearchSpace::from_json(const json::Value& v, const std::string& base_dir) {
+  SearchSpace s;
+  s.name = v.get_or("name", s.name);
+
+  if (v.contains("base_config")) {
+    std::string path = v.at("base_config").as_string();
+    if (!base_dir.empty() && !path.empty() && path[0] != '/') path = base_dir + "/" + path;
+    s.base = config::ArchConfig::load(path);
+  } else {
+    const std::string base = v.get_or("base", "tiny");
+    if (base == "tiny") {
+      s.base = config::ArchConfig::tiny();
+    } else if (base == "paper") {
+      s.base = config::ArchConfig::paper_default();
+    } else if (base == "mnsim") {
+      s.base = config::ArchConfig::mnsim_like();
+    } else {
+      fail("\"base\" must be tiny|paper|mnsim (or use \"base_config\": <path>), got \"" +
+           base + "\"");
+    }
+  }
+
+  s.model = v.get_or("model", s.model);
+  s.input_hw = static_cast<int32_t>(v.get_or("input_hw", int64_t{s.input_hw}));
+  s.functional = v.get_or("functional", s.functional);
+  s.input_seed = v.get_or("input_seed", s.input_seed);
+  if (s.input_hw < 1) fail("\"input_hw\" must be >= 1");
+  check_knob_value("model", json::Value(s.model), json::Value());
+
+  if (!v.contains("knobs") || !v.at("knobs").is_object()) {
+    fail("a space needs a \"knobs\" object");
+  }
+  const json::Value base_json = s.base.to_json();
+  for (const auto& [name, spec] : v.at("knobs").as_object()) {
+    Knob k;
+    k.name = name;
+    k.values = expand_values(name, spec);
+    for (const json::Value& val : k.values) check_knob_value(name, val, base_json);
+    s.knobs.push_back(std::move(k));
+  }
+  if (s.knobs.empty()) fail("\"knobs\" must name at least one knob");
+
+  if (v.contains("objectives")) {
+    s.objectives.clear();
+    for (const json::Value& o : v.at("objectives").as_array()) {
+      Metrics{}.objective(o.as_string());  // validates the name
+      s.objectives.push_back(o.as_string());
+    }
+    if (s.objectives.empty()) fail("\"objectives\" must not be empty");
+  }
+  return s;
+}
+
+SearchSpace SearchSpace::load(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  return from_json(json::parse_file(path), dir);
+}
+
+// ---------------------------------------------------------------- materialize
+
+MaterializedPoint materialize(const SearchSpace& space, const Point& p) {
+  MaterializedPoint out;
+  runtime::Scenario& s = out.scenario;
+  s.model = space.model;
+  s.input_hw = space.input_hw;
+  s.functional = space.functional;
+  s.input_seed = space.input_seed;
+  s.arch = space.base;
+  s.name = point_label(p);
+  config::ArchConfig& cfg = s.arch;
+  cfg.sim.functional = space.functional;
+  s.copts.include_weights = space.functional;
+
+  try {
+    std::vector<std::pair<std::string, json::Value>> path_overrides;
+    for (const auto& [k, v] : p) {
+      if (!apply_structured_knob(k, v, &cfg, &s)) {
+        path_overrides.emplace_back(k, v);  // dotted path, validated at parse
+      }
+    }
+
+    // core_count <-> mesh coupling: a lone knob derives its counterpart so
+    // the common "sweep core_count" space stays valid; setting both leaves
+    // consistency to validate() below.
+    if (p.count("core_count") != 0 && p.count("mesh") == 0) {
+      derive_squarest_mesh(&cfg);
+    } else if (p.count("mesh") != 0 && p.count("core_count") == 0) {
+      cfg.core_count = cfg.mesh_width * cfg.mesh_height;
+    }
+
+    if (!path_overrides.empty()) {
+      json::Value j = cfg.to_json();
+      for (const auto& [path, val] : path_overrides) set_json_path(&j, path, val);
+      cfg = config::ArchConfig::from_json(j);  // re-validates
+      cfg.sim.functional = space.functional;
+    }
+
+    cfg.validate();
+    out.feasible = true;
+  } catch (const std::exception& e) {
+    out.feasible = false;
+    out.error = e.what();
+  }
+  return out;
+}
+
+}  // namespace pim::dse

@@ -1,0 +1,145 @@
+// Declarative design-space description — the "hardware design space
+// exploration" the paper's ISA decoupling is built to enable (§I).
+//
+// A search space is a JSON file: a base architecture plus a set of *knobs*,
+// each knob naming one configuration axis (core count, crossbars per core,
+// NoC link width, mapping policy, ...) with its candidate values given as an
+// explicit list, an arithmetic range, or a log-scale range. The cartesian
+// product of the knob domains is the design space; samplers (sampler.h)
+// enumerate points in it and the evaluator (evaluator.h) turns each point
+// into one runtime::BatchRunner scenario.
+//
+//   {
+//     "name": "dse-small",
+//     "base": "tiny",                       // preset, or "base_config": path
+//     "model": "tiny_cnn",                  // default workload
+//     "input_hw": 8,
+//     "knobs": {
+//       "rob_size": [4, 8, 16],             // explicit list
+//       "adcs_per_core": {"log2_range": [4, 16]},      // 4, 8, 16
+//       "noc_link_bytes": {"range": [8, 32], "step": 8},
+//       "policy": ["perf", "util"],
+//       "core.local_memory.size_bytes": [65536, 131072] // any config path
+//     },
+//     "objectives": ["latency_ms", "energy_uj", "power_mw", "area_mm2"]
+//   }
+//
+// Knob names are either *structured* (the registry in search_space.cpp's
+// apply_structured_knob, covering the axes with cross-field coupling such
+// as core_count <-> mesh) or a dotted path into the ArchConfig JSON schema,
+// applied generically via to_json -> patch -> from_json. Both forms are
+// validated when the space is parsed, so a typo fails at load time, not
+// after an hour of simulation. Knobs are kept sorted by name (JSON object
+// order) — that sorted order is also the grid-enumeration order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "config/arch_config.h"
+#include "json/json.h"
+#include "runtime/batch_runner.h"
+
+namespace pim::dse {
+
+/// One configuration axis: a name plus its ordered candidate values.
+struct Knob {
+  std::string name;
+  std::vector<json::Value> values;
+};
+
+/// One point of the space: knob name -> chosen value. std::map keeps the
+/// keys sorted, so labels, digests and JSON dumps are deterministic.
+using Point = std::map<std::string, json::Value>;
+
+/// "adcs_per_core=4 rob_size=8" — compact human-readable point id.
+std::string point_label(const Point& p);
+
+/// Canonical string form of the assignment (for sampler-side deduplication).
+std::string point_key(const Point& p);
+
+/// Per-point simulation metrics, the objective values DSE optimizes over.
+/// area_mm2 is an analytic proxy computed from the configuration alone
+/// (see evaluator.h); everything else comes from the simulator report.
+struct Metrics {
+  double latency_ms = 0.0;
+  double energy_uj = 0.0;
+  double power_mw = 0.0;
+  double area_mm2 = 0.0;
+  uint64_t instructions = 0;
+  uint64_t noc_bytes = 0;
+  uint64_t total_ps = 0;
+
+  /// Value of one named objective (latency_ms | energy_uj | power_mw |
+  /// area_mm2); throws std::invalid_argument for unknown names.
+  double objective(const std::string& name) const;
+
+  json::Value to_json() const;
+  static Metrics from_json(const json::Value& v);
+};
+
+/// Outcome of evaluating one point. `feasible == false` means the knob
+/// assignment produced an invalid configuration (e.g. more ADCs than
+/// crossbars) and was never simulated; `ok == false` means the simulation
+/// itself failed. Only feasible && ok points carry meaningful metrics.
+struct EvaluatedPoint {
+  Point point;
+  std::string label;          ///< point_label(point)
+  bool feasible = false;
+  bool ok = false;
+  bool from_cache = false;    ///< served from the result cache (not in JSON)
+  std::string error;
+  Metrics metrics;
+
+  /// Objective vector in `objectives` order (minimization).
+  std::vector<double> objective_values(const std::vector<std::string>& objectives) const;
+
+  /// Deterministic dump: excludes from_cache and any host timing.
+  json::Value to_json() const;
+};
+
+/// A parsed search space.
+struct SearchSpace {
+  std::string name = "unnamed";
+  config::ArchConfig base;
+  std::string model = "tiny_cnn";   ///< workload unless a "model" knob overrides
+  int32_t input_hw = 32;
+  bool functional = false;
+  uint64_t input_seed = 7;
+  std::vector<Knob> knobs;          ///< sorted by name (grid enumeration order)
+  std::vector<std::string> objectives = {"latency_ms", "energy_uj", "power_mw", "area_mm2"};
+
+  /// Cartesian-product cardinality, saturating at UINT64_MAX.
+  uint64_t grid_size() const;
+
+  const Knob* find_knob(const std::string& name) const;
+
+  /// Parse + validate a space description. `base_dir` resolves a relative
+  /// "base_config" path. Throws std::invalid_argument on any schema error.
+  static SearchSpace from_json(const json::Value& v, const std::string& base_dir = "");
+  static SearchSpace load(const std::string& path);
+};
+
+/// A point turned into something runnable. When the assignment violates
+/// ArchConfig::validate() the point is reported infeasible instead of
+/// throwing: infeasible corners are a normal part of any honest space.
+struct MaterializedPoint {
+  runtime::Scenario scenario;
+  bool feasible = false;
+  std::string error;          ///< validate() message when infeasible
+};
+
+/// Apply `p`'s knobs onto the space's base configuration and workload.
+/// Handles the core_count <-> mesh coupling: setting "core_count" alone
+/// derives the squarest mesh, setting "mesh" ("WxH") alone derives the core
+/// count, and setting both inconsistently is reported infeasible.
+MaterializedPoint materialize(const SearchSpace& space, const Point& p);
+
+/// Set `root[dotted path] = v`, requiring every path component to already
+/// exist (the ArchConfig JSON schema is fully populated, so a missing
+/// component is a typo). Throws std::invalid_argument otherwise.
+void set_json_path(json::Value* root, const std::string& dotted, const json::Value& v);
+
+}  // namespace pim::dse

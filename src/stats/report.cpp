@@ -89,4 +89,44 @@ std::string bar_chart(const std::string& title, const std::vector<std::string>& 
   return out;
 }
 
+std::string scatter_chart(const std::string& title, const std::string& x_label,
+                          const std::string& y_label, const std::vector<double>& xs,
+                          const std::vector<double>& ys, const std::vector<bool>& highlight,
+                          int width, int height) {
+  if (xs.size() != ys.size() || xs.size() != highlight.size()) {
+    throw std::invalid_argument("scatter_chart: xs/ys/highlight size mismatch");
+  }
+  if (xs.empty() || width < 2 || height < 2) return "";
+
+  const auto [xmin_it, xmax_it] = std::minmax_element(xs.begin(), xs.end());
+  const auto [ymin_it, ymax_it] = std::minmax_element(ys.begin(), ys.end());
+  const double xmin = *xmin_it, xspan = std::max(*xmax_it - *xmin_it, 1e-300);
+  const double ymin = *ymin_it, yspan = std::max(*ymax_it - *ymin_it, 1e-300);
+
+  std::vector<std::string> grid(static_cast<size_t>(height),
+                                std::string(static_cast<size_t>(width), ' '));
+  const auto plot = [&](bool starred_pass) {
+    for (size_t i = 0; i < xs.size(); ++i) {
+      if (highlight[i] != starred_pass) continue;
+      const int col = static_cast<int>(std::lround((xs[i] - xmin) / xspan * (width - 1)));
+      const int row = static_cast<int>(std::lround((ys[i] - ymin) / yspan * (height - 1)));
+      // Row 0 is the top of the chart = the y maximum.
+      grid[static_cast<size_t>(height - 1 - row)][static_cast<size_t>(col)] =
+          starred_pass ? '*' : 'o';
+    }
+  };
+  plot(false);
+  plot(true);  // frontier points win contested cells
+
+  std::string out = "== " + title + " ==\n";
+  out += strformat("%s in [%s, %s] (left to right), %s in [%s, %s] (bottom to top)\n",
+                   x_label.c_str(), fmt(xmin).c_str(), fmt(xmin + xspan).c_str(),
+                   y_label.c_str(), fmt(ymin).c_str(), fmt(ymin + yspan).c_str());
+  const std::string frame = "+" + std::string(static_cast<size_t>(width), '-') + "+\n";
+  out += frame;
+  for (const std::string& row : grid) out += "|" + row + "|\n";
+  out += frame;
+  return out;
+}
+
 }  // namespace pim::stats

@@ -35,6 +35,15 @@ std::string csv(const std::vector<std::string>& header,
 std::string bar_chart(const std::string& title, const std::vector<std::string>& categories,
                       const std::vector<Series>& series, int width = 48);
 
+/// ASCII scatter plot on a width x height character grid — the terminal
+/// rendering of a Pareto-frontier figure. Points with highlight[i] set are
+/// drawn '*' (on top), the rest 'o'; axis extents are printed on the frame.
+/// xs/ys/highlight must have equal length.
+std::string scatter_chart(const std::string& title, const std::string& x_label,
+                          const std::string& y_label, const std::vector<double>& xs,
+                          const std::vector<double>& ys, const std::vector<bool>& highlight,
+                          int width = 60, int height = 16);
+
 /// Format a double compactly (3 significant decimals).
 std::string fmt(double v);
 

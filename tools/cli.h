@@ -1,0 +1,158 @@
+// Declarative argument parser shared by the command-line tools.
+//
+// Replaces the ad-hoc argv scans: every tool declares its options up front,
+// which buys (a) a generated --help page, (b) rejection of unknown or
+// malformed flags instead of silently ignoring them, and (c) numeric
+// parsing with real error messages instead of atoi's silent zeros.
+//
+//   tools::ArgParser args("pimdse", "explore an architecture design space");
+//   args.option("--space", "FILE", "", "search-space JSON (required)");
+//   args.option("--jobs", "N", "0", "worker threads (0 = all hardware threads)");
+//   args.flag("--quiet", "suppress per-point progress");
+//   args.parse(argc, argv);                 // --help prints and exits 0
+//   const unsigned jobs = args.get_unsigned("--jobs");
+#pragma once
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pim::tools {
+
+/// Write `text` to `path`, exiting 1 with a diagnostic on failure (shared
+/// by the tools' --json/--md/--out/--csv outputs).
+inline void write_text(const char* prog, const std::string& path, const std::string& text) {
+  std::ofstream f(path);
+  f << text;
+  if (!f) {
+    std::fprintf(stderr, "%s: cannot write %s\n", prog, path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
+class ArgParser {
+ public:
+  ArgParser(std::string prog, std::string summary)
+      : prog_(std::move(prog)), summary_(std::move(summary)) {}
+
+  /// Declare a value-taking option. `fallback` is returned by get() when the
+  /// option is absent from the command line.
+  ArgParser& option(const std::string& name, const std::string& value_name,
+                    const std::string& fallback, const std::string& help) {
+    specs_.push_back({name, value_name, fallback, help, /*is_flag=*/false, "", false});
+    return *this;
+  }
+
+  /// Declare a boolean flag.
+  ArgParser& flag(const std::string& name, const std::string& help) {
+    specs_.push_back({name, "", "", help, /*is_flag=*/true, "", false});
+    return *this;
+  }
+
+  /// Parse the command line. Prints help and exits 0 on --help/-h; prints a
+  /// diagnostic and exits 2 on unknown or malformed arguments.
+  void parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        std::fputs(help_text().c_str(), stdout);
+        std::exit(0);
+      }
+      Spec* s = find(arg);
+      if (s == nullptr) {
+        fail("unknown argument \"" + arg + "\"");
+      }
+      s->seen = true;
+      if (!s->is_flag) {
+        if (i + 1 >= argc) fail("option " + arg + " needs a value");
+        s->value = argv[++i];
+      }
+    }
+  }
+
+  /// True when the flag/option appeared on the command line.
+  bool has(const std::string& name) const {
+    const Spec* s = find_checked(name);
+    return s->seen;
+  }
+
+  /// Option value (the declared fallback when absent).
+  const std::string& get(const std::string& name) const {
+    const Spec* s = find_checked(name);
+    return s->seen ? s->value : s->fallback;
+  }
+
+  long get_int(const std::string& name) const {
+    const std::string& v = get(name);
+    char* end = nullptr;
+    errno = 0;
+    const long out = std::strtol(v.c_str(), &end, 10);
+    if (v.empty() || end == nullptr || *end != '\0') {
+      fail("option " + name + " needs an integer, got \"" + v + "\"");
+    }
+    if (errno == ERANGE) {
+      fail("option " + name + ": \"" + v + "\" is out of range");
+    }
+    return out;
+  }
+
+  unsigned get_unsigned(const std::string& name) const {
+    const long v = get_int(name);
+    if (v < 0) fail("option " + name + " must be >= 0, got " + std::to_string(v));
+    if (static_cast<unsigned long>(v) > std::numeric_limits<unsigned>::max()) {
+      fail("option " + name + ": " + std::to_string(v) + " is out of range");
+    }
+    return static_cast<unsigned>(v);
+  }
+
+  std::string help_text() const {
+    std::string out = prog_ + " — " + summary_ + "\n\nusage: " + prog_ + " [options]\n\noptions:\n";
+    size_t w = sizeof("--help") - 1;
+    for (const Spec& s : specs_) w = std::max(w, s.name.size() + 1 + s.value_name.size());
+    for (const Spec& s : specs_) {
+      const std::string left = s.is_flag ? s.name : s.name + " " + s.value_name;
+      out += "  " + left + std::string(w + 2 - left.size(), ' ') + s.help;
+      if (!s.is_flag && !s.fallback.empty()) out += " [default: " + s.fallback + "]";
+      out += "\n";
+    }
+    out += "  --help" + std::string(w + 2 - (sizeof("--help") - 1), ' ') + "show this message\n";
+    return out;
+  }
+
+ private:
+  struct Spec {
+    std::string name, value_name, fallback, help;
+    bool is_flag;
+    std::string value;
+    bool seen;
+  };
+
+  [[noreturn]] void fail(const std::string& what) const {
+    std::fprintf(stderr, "%s: %s (try --help)\n", prog_.c_str(), what.c_str());
+    std::exit(2);
+  }
+
+  Spec* find(const std::string& name) {
+    for (Spec& s : specs_) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+  const Spec* find_checked(const std::string& name) const {
+    for (const Spec& s : specs_) {
+      if (s.name == name) return &s;
+    }
+    fail("internal error: option \"" + name + "\" was never declared");
+  }
+
+  std::string prog_, summary_;
+  std::vector<Spec> specs_;
+};
+
+}  // namespace pim::tools

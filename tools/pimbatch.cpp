@@ -5,11 +5,8 @@
 // an aggregate markdown/JSON summary with the measured speedup over a serial
 // run. Per-scenario results are bit-identical regardless of --jobs.
 //
-//   pimbatch [--models tiny_cnn,mlp] [--policies perf,util] [--batches 1,2]
-//            [--arch tiny|paper|mnsim | --config arch.json] [--input-hw N]
-//            [--jobs N] [--functional] [--replication N]
-//            [--scenarios sweep.json] [--json out.json] [--md out.md]
-//            [--verify] [--quiet]
+//   pimbatch --models tiny_cnn,mlp --policies perf,util --batches 1,2
+//            --arch tiny --input-hw 8 --functional --jobs 4 --verify
 //
 //   --jobs 0 (default) uses all hardware threads; --jobs 1 is the serial
 //   reference. --verify reruns the sweep serially and checks bit-identity.
@@ -17,8 +14,6 @@
 //     {"models": [...], "policies": [...], "batches": [...],
 //      "arch": "tiny", "input_hw": 8, "functional": true}
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -26,30 +21,35 @@
 #include "config/arch_config.h"
 #include "json/json.h"
 #include "runtime/batch_runner.h"
-#include "tool_common.h"
+#include "cli.h"
 
 namespace {
 
 using namespace pim;
 
+[[noreturn]] void die(const std::string& what) {
+  std::fprintf(stderr, "pimbatch: %s\n", what.c_str());
+  std::exit(2);
+}
+
 config::ArchConfig arch_by_name(const std::string& name) {
   if (name == "tiny") return config::ArchConfig::tiny();
   if (name == "paper") return config::ArchConfig::paper_default();
   if (name == "mnsim") return config::ArchConfig::mnsim_like();
-  tools::usage("pimbatch: unknown --arch (expected tiny|paper|mnsim)\n");
+  die("unknown --arch \"" + name + "\" (expected tiny|paper|mnsim)");
 }
 
 compiler::MappingPolicy parse_policy(const std::string& p) {
   if (p == "util") return compiler::MappingPolicy::UtilizationFirst;
   if (p == "perf") return compiler::MappingPolicy::PerformanceFirst;
-  tools::usage("pimbatch: unknown policy (expected perf|util)\n");
+  die("unknown policy \"" + p + "\" (expected perf|util)");
 }
 
 std::vector<uint32_t> parse_batches(const std::string& csv) {
   std::vector<uint32_t> out;
   for (const std::string& tok : split(csv, ',')) {
     const int v = std::atoi(tok.c_str());
-    if (v < 1) tools::usage("pimbatch: --batches entries must be >= 1\n");
+    if (v < 1) die("--batches entries must be integers >= 1, got \"" + tok + "\"");
     out.push_back(static_cast<uint32_t>(v));
   }
   return out;
@@ -73,7 +73,7 @@ std::vector<runtime::Scenario> sweep_from_file(const std::string& path) {
   }
   std::vector<uint32_t> batches;
   for (const json::Value& b : spec.at("batches").as_array()) {
-    if (b.as_int() < 1) tools::usage("pimbatch: sweep batches entries must be >= 1\n");
+    if (b.as_int() < 1) die("sweep batches entries must be >= 1");
     batches.push_back(static_cast<uint32_t>(b.as_int()));
   }
   config::ArchConfig arch = spec.contains("config")
@@ -84,50 +84,49 @@ std::vector<runtime::Scenario> sweep_from_file(const std::string& path) {
                                spec.get_or("functional", false));
 }
 
-void write_text(const char* path, const std::string& text) {
-  std::ofstream f(path);
-  f << text;
-  if (!f) {
-    std::fprintf(stderr, "pimbatch: cannot write %s\n", path);
-    std::exit(1);
-  }
-  std::printf("wrote %s\n", path);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  using tools::arg_value;
-  using tools::has_flag;
+  tools::ArgParser args("pimbatch", "run a sweep of simulations across a host thread pool");
+  args.option("--models", "LIST", "tiny_cnn,mlp", "comma-separated networks (or \"mlp\")");
+  args.option("--policies", "LIST", "perf,util", "comma-separated mapping policies");
+  args.option("--batches", "LIST", "1,2", "comma-separated batch sizes");
+  args.option("--arch", "NAME", "tiny", "architecture preset: tiny|paper|mnsim");
+  args.option("--config", "FILE", "", "architecture JSON (overrides --arch)");
+  args.option("--input-hw", "N", "8", "input resolution");
+  args.option("--replication", "N", "1", "weight replication cap (perf policy)");
+  args.option("--scenarios", "FILE", "", "sweep spec JSON (overrides the sweep flags)");
+  args.option("--jobs", "N", "0", "worker threads (0 = all hardware threads)");
+  args.flag("--functional", "move real data and check outputs");
+  args.flag("--verify", "rerun serially and check bit-identity");
+  args.option("--json", "FILE", "", "write the summary as JSON");
+  args.option("--md", "FILE", "", "write the summary as markdown");
+  args.flag("--quiet", "suppress per-scenario progress");
+  args.parse(argc, argv);
 
   try {
-    const unsigned jobs = static_cast<unsigned>(std::atoi(arg_value(argc, argv, "--jobs", "0")));
-    const bool quiet = has_flag(argc, argv, "--quiet");
+    const unsigned jobs = args.get_unsigned("--jobs");
+    const bool quiet = args.has("--quiet");
 
     std::vector<runtime::Scenario> scenarios;
-    if (const char* spec = arg_value(argc, argv, "--scenarios")) {
-      scenarios = sweep_from_file(spec);
+    if (!args.get("--scenarios").empty()) {
+      scenarios = sweep_from_file(args.get("--scenarios"));
     } else {
-      config::ArchConfig arch;
-      if (const char* cfg_path = arg_value(argc, argv, "--config")) {
-        arch = config::ArchConfig::load(cfg_path);
-      } else {
-        arch = arch_by_name(arg_value(argc, argv, "--arch", "tiny"));
-      }
+      config::ArchConfig arch = !args.get("--config").empty()
+                                    ? config::ArchConfig::load(args.get("--config"))
+                                    : arch_by_name(args.get("--arch"));
       scenarios = runtime::expand_sweep(
-          split(arg_value(argc, argv, "--models", "tiny_cnn,mlp"), ','),
-          parse_policies(arg_value(argc, argv, "--policies", "perf,util")),
-          parse_batches(arg_value(argc, argv, "--batches", "1,2")), arch,
-          std::atoi(arg_value(argc, argv, "--input-hw", "8")),
-          has_flag(argc, argv, "--functional"));
-      const uint32_t repl =
-          static_cast<uint32_t>(std::atoi(arg_value(argc, argv, "--replication", "1")));
+          split(args.get("--models"), ','), parse_policies(args.get("--policies")),
+          parse_batches(args.get("--batches")), arch,
+          static_cast<int32_t>(args.get_int("--input-hw")), args.has("--functional"));
+      const unsigned repl = args.get_unsigned("--replication");
+      if (repl < 1) die("--replication must be >= 1");
       for (runtime::Scenario& s : scenarios) {
         s.copts.replication = repl;
         if (repl > 1) s.name = s.derive_name();
       }
     }
-    if (scenarios.empty()) tools::usage("pimbatch: empty scenario list\n");
+    if (scenarios.empty()) die("empty scenario list");
 
     runtime::BatchRunner runner(jobs);
     if (!quiet) {
@@ -143,7 +142,7 @@ int main(int argc, char** argv) {
     std::printf("\n%s", result.markdown().c_str());
 
     bool verified_ok = true;
-    if (has_flag(argc, argv, "--verify")) {
+    if (args.has("--verify")) {
       if (!quiet) std::printf("\nverify: rerunning %zu scenarios serially...\n", scenarios.size());
       runtime::BatchResult serial = runtime::BatchRunner(1).run(scenarios);
       const std::vector<std::string> diffs = runtime::compare_results(result, serial);
@@ -152,12 +151,10 @@ int main(int argc, char** argv) {
       std::printf("determinism check vs serial: %s\n", verified_ok ? "PASS" : "FAIL");
     }
 
-    if (const char* json_path = arg_value(argc, argv, "--json")) {
-      write_text(json_path, result.to_json().dump(2) + "\n");
+    if (!args.get("--json").empty()) {
+      tools::write_text("pimbatch", args.get("--json"), result.to_json().dump(2) + "\n");
     }
-    if (const char* md_path = arg_value(argc, argv, "--md")) {
-      write_text(md_path, result.markdown());
-    }
+    if (!args.get("--md").empty()) tools::write_text("pimbatch", args.get("--md"), result.markdown());
     return result.all_ok() && verified_ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pimbatch: %s\n", e.what());
