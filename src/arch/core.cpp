@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "arch/chip.h"
+#include "common/logging.h"
 #include "common/math_util.h"
 #include "common/strings.h"
 

@@ -1,6 +1,8 @@
 #include "dse/cache.h"
 
+#include <algorithm>
 #include <filesystem>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -35,7 +37,8 @@ std::string scenario_key(const runtime::Scenario& s) {
   return v.dump();
 }
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+ResultCache::ResultCache(std::string dir, uint64_t max_bytes)
+    : dir_(std::move(dir)), max_bytes_(max_bytes) {
   if (dir_.empty()) return;
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
@@ -43,6 +46,59 @@ ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
     PIM_LOG(Warn) << "dse cache: cannot create " << dir_ << " (" << ec.message()
                   << ") — caching disabled";
     dir_.clear();
+    return;
+  }
+  if (max_bytes_ > 0) {
+    approx_bytes_ = scan_bytes();
+    if (approx_bytes_ > max_bytes_) trim();
+  }
+}
+
+uint64_t ResultCache::scan_bytes() const {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      total += entry.file_size(ec);
+    }
+  }
+  return total;
+}
+
+void ResultCache::trim() {
+  // Oldest-first eviction: sort the entries by modification time (path as a
+  // deterministic tiebreaker) and delete from the front until the cap holds.
+  struct Candidate {
+    std::filesystem::file_time_type mtime;
+    uint64_t size;
+    std::filesystem::path path;
+  };
+  std::vector<Candidate> entries;
+  uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".json") continue;
+    Candidate c{entry.last_write_time(ec), entry.file_size(ec), entry.path()};
+    total += c.size;
+    entries.push_back(std::move(c));
+  }
+  std::sort(entries.begin(), entries.end(), [](const Candidate& a, const Candidate& b) {
+    return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
+  });
+  size_t dropped = 0;
+  for (const Candidate& c : entries) {
+    if (total <= max_bytes_) break;
+    if (std::filesystem::remove(c.path, ec)) {
+      total -= c.size;
+      ++dropped;
+    }
+  }
+  evicted_ += dropped;
+  approx_bytes_ = total;
+  if (dropped > 0) {
+    PIM_LOG(Debug) << "dse cache: evicted " << dropped << " oldest entr"
+                   << (dropped == 1 ? "y" : "ies") << " to stay under " << max_bytes_
+                   << " bytes";
   }
 }
 
@@ -58,7 +114,9 @@ bool ResultCache::load(const std::string& key, EvaluatedPoint* out) const {
   try {
     const json::Value v = json::parse_file(path);
     if (v.get_or("key", "") != key) return false;  // hash collision -> miss
-    out->feasible = true;
+    // Entries written before the feasible flag existed default to true (only
+    // feasible points were cached then).
+    out->feasible = v.get_or("feasible", true);
     out->ok = v.get_or("ok", false);
     out->error = v.get_or("error", "");
     out->metrics = Metrics::from_json(v.at("metrics"));
@@ -69,18 +127,26 @@ bool ResultCache::load(const std::string& key, EvaluatedPoint* out) const {
   }
 }
 
-void ResultCache::store(const std::string& key, const EvaluatedPoint& p) const {
+void ResultCache::store(const std::string& key, const EvaluatedPoint& p) {
   if (!enabled()) return;
   json::Value v;
   v["key"] = json::Value(key);
   v["label"] = json::Value(p.label);
+  v["feasible"] = json::Value(p.feasible);
   v["ok"] = json::Value(p.ok);
   if (!p.error.empty()) v["error"] = json::Value(p.error);
   v["metrics"] = p.metrics.to_json();
+  const std::string path = entry_path(key);
   try {
-    json::write_file(entry_path(key), v);
+    json::write_file(path, v);
   } catch (const std::exception& e) {
-    PIM_LOG(Warn) << "dse cache: cannot write " << entry_path(key) << ": " << e.what();
+    PIM_LOG(Warn) << "dse cache: cannot write " << path << ": " << e.what();
+    return;
+  }
+  if (max_bytes_ > 0) {
+    std::error_code ec;
+    approx_bytes_ += std::filesystem::file_size(path, ec);
+    if (approx_bytes_ > max_bytes_) trim();
   }
 }
 

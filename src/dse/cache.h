@@ -11,6 +11,10 @@
 // verbatim on load, so a hash collision degrades to a miss, never to a
 // wrong result. Entries are immutable once written; the cache directory can
 // be deleted at any time.
+//
+// The cache is bounded: pass `max_bytes > 0` and the directory is trimmed
+// oldest-first (by file modification time) whenever the total entry size
+// exceeds the cap, so long-lived caches no longer grow without bound.
 #pragma once
 
 #include <cstdint>
@@ -38,25 +42,38 @@ struct CacheStats {
 };
 
 /// Disk-backed result store. An empty directory string disables the cache
-/// (every lookup misses, stores are dropped).
+/// (every lookup misses, stores are dropped). `max_bytes == 0` means
+/// unbounded; otherwise the directory is kept at or under the cap by
+/// evicting the oldest entries first.
 class ResultCache {
  public:
-  explicit ResultCache(std::string dir);
+  explicit ResultCache(std::string dir, uint64_t max_bytes = 0);
 
   bool enabled() const { return !dir_.empty(); }
   const std::string& dir() const { return dir_; }
+  uint64_t max_bytes() const { return max_bytes_; }
 
-  /// Look `key` up; on a hit fills ok/error/metrics of `out` (leaving its
-  /// point/label alone) and returns true.
+  /// Entries evicted by this instance (size-cap trims), cumulative.
+  size_t evicted() const { return evicted_; }
+
+  /// Look `key` up; on a hit fills feasible/ok/error/metrics of `out`
+  /// (leaving its point/label alone) and returns true.
   bool load(const std::string& key, EvaluatedPoint* out) const;
 
-  /// Persist one evaluated point under `key`. I/O failures are logged and
-  /// swallowed — a broken cache must never fail an exploration.
-  void store(const std::string& key, const EvaluatedPoint& p) const;
+  /// Persist one evaluated point under `key`, then enforce the size cap.
+  /// I/O failures are logged and swallowed — a broken cache must never fail
+  /// an exploration.
+  void store(const std::string& key, const EvaluatedPoint& p);
 
  private:
   std::string entry_path(const std::string& key) const;
+  uint64_t scan_bytes() const;
+  void trim();
+
   std::string dir_;
+  uint64_t max_bytes_ = 0;
+  uint64_t approx_bytes_ = 0;  // running estimate; trim() resyncs with disk
+  size_t evicted_ = 0;
 };
 
 }  // namespace pim::dse

@@ -1,6 +1,9 @@
 #include "dse/evaluator.h"
 
+#include <algorithm>
 #include <map>
+
+#include "common/strings.h"
 
 namespace pim::dse {
 
@@ -32,8 +35,20 @@ double area_proxy_mm2(const config::ArchConfig& cfg) {
   return static_cast<double>(cfg.core_count) * (core_area + router);
 }
 
+void apply_time_budget(runtime::Scenario* scenario, uint64_t max_time_ms) {
+  if (max_time_ms == 0) return;
+  uint64_t& budget = scenario->arch.sim.max_time_ms;
+  budget = budget == 0 ? max_time_ms : std::min(budget, max_time_ms);
+}
+
 Evaluator::Evaluator(const SearchSpace& space, unsigned jobs, std::string cache_dir)
     : space_(space), runner_(jobs), cache_(std::move(cache_dir)) {}
+
+Evaluator::Evaluator(const SearchSpace& space, const EvalOptions& opts)
+    : space_(space),
+      runner_(opts.jobs),
+      cache_(opts.cache_dir, opts.cache_max_bytes),
+      max_point_time_ms_(opts.max_point_time_ms) {}
 
 std::vector<EvaluatedPoint> Evaluator::evaluate(const std::vector<Point>& points) {
   std::vector<EvaluatedPoint> out(points.size());
@@ -54,6 +69,9 @@ std::vector<EvaluatedPoint> Evaluator::evaluate(const std::vector<Point>& points
       if (progress_) progress_(ep, ++resolved, points.size());
       continue;
     }
+    // The budget is part of the scenario, hence of the cache key: a capped
+    // run and an uncapped run of the same point are different simulations.
+    apply_time_budget(&m.scenario, max_point_time_ms_);
     const std::string key = scenario_key(m.scenario);
     if (cache_.load(key, &ep)) {
       ep.from_cache = true;
@@ -79,6 +97,14 @@ std::vector<EvaluatedPoint> Evaluator::evaluate(const std::vector<Point>& points
       ep.feasible = true;
       ep.ok = r.ok;
       ep.error = r.error;
+      if (r.timed_out) {
+        // The simulation hit the per-point budget (or deadlocked under it).
+        // Report it like an infeasible corner: excluded from the frontier,
+        // never silently treated as a valid design.
+        ep.feasible = false;
+        ep.error = strformat("timed out: exceeded %llu ms simulated-time budget (or deadlocked)",
+                             static_cast<unsigned long long>(scenarios[j].arch.sim.max_time_ms));
+      }
       if (r.ok) {
         ep.metrics.latency_ms = r.report.latency_ms();
         ep.metrics.energy_uj = r.report.energy_uj();

@@ -25,12 +25,28 @@ namespace pim::dse {
 /// in the configuration alone.
 double area_proxy_mm2(const config::ArchConfig& cfg);
 
+/// Evaluator knobs beyond the search space itself.
+struct EvalOptions {
+  unsigned jobs = 0;              ///< BatchRunner jobs; 0 = all hardware threads
+  std::string cache_dir;          ///< empty = no result cache
+  uint64_t cache_max_bytes = 0;   ///< result-cache size cap; 0 = unbounded
+  /// Per-point simulated-time budget in ms (SimSettings.max_time_ms); 0 = no
+  /// budget. Points that exceed it are reported like infeasible ones, so a
+  /// pathological knob corner cannot stall a whole exploration.
+  uint64_t max_point_time_ms = 0;
+};
+
+/// Cap `scenario`'s simulated-time budget at `max_time_ms` (no-op when 0;
+/// keeps a stricter budget already present on the scenario).
+void apply_time_budget(runtime::Scenario* scenario, uint64_t max_time_ms);
+
 /// Evaluates points through BatchRunner, consulting the result cache first.
 class Evaluator {
  public:
   /// `jobs` as in BatchRunner (0 = all hardware threads); `cache_dir` empty
   /// disables caching.
   explicit Evaluator(const SearchSpace& space, unsigned jobs = 0, std::string cache_dir = {});
+  Evaluator(const SearchSpace& space, const EvalOptions& opts);
 
   /// Called after each point resolves (cache hit or simulation), serialized:
   /// (point, resolved count, total count of this evaluate() call).
@@ -52,6 +68,7 @@ class Evaluator {
   ResultCache cache_;
   CacheStats stats_;
   Progress progress_;
+  uint64_t max_point_time_ms_ = 0;
 };
 
 }  // namespace pim::dse

@@ -119,7 +119,12 @@ ExploreResult explore(const SearchSpace& space, const ExploreOptions& opts) {
   std::unique_ptr<Sampler> sampler = make_sampler(opts.sampler, space, opts.seed);
   res.sampler = sampler->name();
 
-  Evaluator evaluator(space, opts.jobs, opts.cache_dir);
+  EvalOptions eopts;
+  eopts.jobs = opts.jobs;
+  eopts.cache_dir = opts.cache_dir;
+  eopts.cache_max_bytes = opts.cache_max_bytes;
+  eopts.max_point_time_ms = opts.max_point_time_ms;
+  Evaluator evaluator(space, eopts);
   if (opts.progress) evaluator.set_progress(opts.progress);
   res.jobs = evaluator.jobs();
 

@@ -63,7 +63,10 @@ ScenarioResult run_one(const Scenario& s) {
     }
     r.report = simulate_network(net, cfg, copts, in_ptr);
     r.ok = r.report.finished;
-    if (!r.ok) r.error = "simulation did not finish (deadlock or time limit)";
+    if (!r.ok) {
+      r.timed_out = cfg.sim.max_time_ms > 0;
+      r.error = "simulation did not finish (deadlock or time limit)";
+    }
   } catch (const std::exception& e) {
     r.ok = false;
     r.error = e.what();
@@ -91,6 +94,7 @@ json::Value ScenarioResult::to_json() const {
   v["wall_ms"] = json::Value(wall_ms);
   if (!ok) {
     v["error"] = json::Value(error);
+    v["timed_out"] = json::Value(timed_out);
     return v;
   }
   v["latency_ms"] = json::Value(report.latency_ms());

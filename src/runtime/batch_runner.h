@@ -45,6 +45,10 @@ struct ScenarioResult {
   std::string policy;
   uint32_t batch = 1;
   bool ok = false;
+  /// ok == false because a simulated-time budget (SimSettings.max_time_ms)
+  /// was active and the simulation stopped before all cores halted
+  /// (indistinguishable from a deadlock under a budget).
+  bool timed_out = false;
   std::string error;
   Report report;
   double wall_ms = 0.0;          ///< host wall-clock spent on this scenario

@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 #include <exception>
+#include <utility>
+
+#include "common/logging.h"
 
 namespace pim::sim {
 
@@ -35,24 +38,40 @@ void Process::promise_type::unhandled_exception() {
 // -------------------------------------------------------------------- Event
 
 void Event::notify() {
-  // Move the waiter list out first: a resumed process may immediately
+  if (kernel_->destroying_) {
+    // Frames holding our queue nodes may already be destroyed; drop the
+    // waiters without walking their links (nobody will run anyway).
+    waiters_ = {};
+    return;
+  }
+  // Detach the waiter chain first: a resumed process may immediately
   // co_await this event again and must land in the *next* notification.
-  std::vector<std::coroutine_handle<>> woken;
-  woken.swap(waiters_);
-  for (std::coroutine_handle<> h : woken) {
-    kernel_->resume_at(kernel_->now(), h);
+  // Waking is pure scheduling (ring pushes), never recursive resumption.
+  Process::promise_type* p = waiters_.take_all();
+  while (p != nullptr) {
+    Process::promise_type* next = p->wait_next;
+    p->wait_next = nullptr;
+    kernel_->schedule_now(Process::Handle::from_promise(*p));
+    p = next;
   }
 }
 
 // ------------------------------------------------------------------- Kernel
 
 Kernel::~Kernel() {
+  destroying_ = true;
   // Destroy any still-suspended process frames so leak checkers stay quiet.
-  // Copy first: destroying a frame runs destructors which must not mutate
-  // live_ through on_process_finished (they don't — only final_suspend does —
-  // but the copy keeps iteration valid regardless).
-  std::vector<void*> frames(live_.begin(), live_.end());
-  live_.clear();
+  // Snapshot the handles first: destroying a frame runs destructors (e.g. a
+  // Resource::Lease release that schedules a hand-off) which must not mutate
+  // the live list mid-walk (they don't — only final_suspend does — but the
+  // snapshot keeps iteration valid regardless).
+  std::vector<void*> frames;
+  frames.reserve(live_count_);
+  for (Process::promise_type* p = live_head_; p != nullptr; p = p->live_next) {
+    frames.push_back(Process::Handle::from_promise(*p).address());
+  }
+  live_head_ = nullptr;
+  live_count_ = 0;
   for (void* frame : frames) {
     std::coroutine_handle<>::from_address(frame).destroy();
   }
@@ -61,54 +80,168 @@ Kernel::~Kernel() {
 void Kernel::spawn(Process process) {
   Process::Handle h = process.release();
   if (!h) return;
-  h.promise().kernel = this;
-  live_.insert(h.address());
-  resume_at(now_, h);
+  Process::promise_type& p = h.promise();
+  p.kernel = this;
+  p.live_prev = nullptr;
+  p.live_next = live_head_;
+  if (live_head_ != nullptr) live_head_->live_prev = &p;
+  live_head_ = &p;
+  ++live_count_;
+  schedule_now(h);
+}
+
+uint32_t Kernel::fn_park(std::function<void()> fn) {
+  uint32_t slot;
+  if (!fn_free_.empty()) {
+    slot = fn_free_.back();
+    fn_free_.pop_back();
+    fn_slots_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<uint32_t>(fn_slots_.size());
+    fn_slots_.push_back(std::move(fn));
+  }
+  return slot;
 }
 
 void Kernel::call_at(Time t, std::function<void()> fn) {
-  queue_.push(Entry{t, seq_++, {}, std::move(fn)});
+  const uint32_t slot = fn_park(std::move(fn));
+  const uint64_t seq = seq_++;
+  if (t <= now_) {
+    ring_push(RingItem{nullptr, seq, slot + 1});
+  } else {
+    heap_push(HeapEntry{t, seq, nullptr, slot + 1});
+  }
 }
 
-void Kernel::resume_at(Time t, std::coroutine_handle<> h) {
-  queue_.push(Entry{t, seq_++, h, {}});
+void Kernel::ring_grow() {
+  const size_t old_cap = ring_.size();
+  const size_t new_cap = old_cap == 0 ? 16 : old_cap * 2;  // stays a power of two
+  std::vector<RingItem> grown(new_cap);
+  for (size_t i = 0; i < ring_count_; ++i) {
+    grown[i] = ring_[(ring_head_ + i) & (old_cap - 1)];
+  }
+  ring_ = std::move(grown);
+  ring_head_ = 0;
+}
+
+Kernel::HeapEntry Kernel::heap_pop() {
+  HeapEntry top = heap_.front();
+  HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const size_t n = heap_.size();
+  if (n > 0) {
+    size_t i = 0;
+    for (;;) {
+      size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && heap_less(heap_[child + 1], heap_[child])) ++child;
+      if (!heap_less(heap_[child], last)) break;
+      heap_[i] = heap_[child];
+      i = child;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+void Kernel::run_callback(uint32_t fn) {
+  // Move the callback out before invoking: the body may call_at and reuse
+  // the slot.
+  std::function<void()> f = std::move(fn_slots_[fn - 1]);
+  fn_free_.push_back(fn - 1);
+  f();
 }
 
 bool Kernel::step() {
-  if (queue_.empty()) return false;
-  Entry entry = queue_.top();
-  queue_.pop();
-  now_ = entry.t;
-  ++events_executed_;
-  if (entry.h) {
-    entry.h.resume();
-  } else if (entry.fn) {
-    entry.fn();
+  Time t;
+  uint64_t seq;
+  void* h;
+  uint32_t fn;
+  if (!heap_.empty() && heap_.front().t == now_) {
+    // Heap entries at the current time were all scheduled before time
+    // advanced here, so their seq numbers precede every ring entry's.
+    const HeapEntry e = heap_pop();
+    t = e.t;
+    seq = e.seq;
+    h = e.h;
+    fn = e.fn;
+  } else if (ring_count_ > 0) {
+    const RingItem item = ring_pop();
+    t = now_;
+    seq = item.seq;
+    h = item.h;
+    fn = item.fn;
+  } else if (!heap_.empty()) {
+    const HeapEntry e = heap_pop();
+    now_ = e.t;
+    t = e.t;
+    seq = e.seq;
+    h = e.h;
+    fn = e.fn;
+  } else {
+    return false;
   }
+  exec(t, seq, h, fn);
   return true;
 }
 
 Time Kernel::run(Time until) {
-  while (!queue_.empty() && queue_.top().t < until) {
-    step();
+  // Batch-drain loop. Two invariants let the per-event checks hoist out of
+  // the inner loops: (1) ring entries always live at the current time, and
+  // (2) firing an event can only push ring entries (at now) or heap entries
+  // strictly in the future — so while draining one timestamp, no *new*
+  // heap-at-now work can appear, and ring pushes append FIFO behind the
+  // current batch.
+  for (;;) {
+    if (!heap_.empty() && heap_.front().t == now_) {
+      // Leftover same-time heap entries (possible after a bare step() that
+      // advanced time). Their seqs precede every ring entry's — drain first.
+      if (now_ >= until) break;  // `until` is exclusive
+      do {
+        const HeapEntry e = heap_pop();
+        exec(e.t, e.seq, e.h, e.fn);
+      } while (!heap_.empty() && heap_.front().t == now_);
+      continue;
+    }
+    if (ring_count_ > 0) {
+      if (now_ >= until) break;
+      do {
+        const RingItem item = ring_pop();
+        exec(now_, item.seq, item.h, item.fn);
+      } while (ring_count_ > 0);
+      continue;
+    }
+    if (heap_.empty() || heap_.front().t >= until) break;
+    now_ = heap_.front().t;  // advance; the loop re-enters the heap-at-now drain
   }
   if (now_ < until && until != kTimeMax) now_ = until;
   return now_;
 }
 
 void Kernel::on_process_finished(Process::Handle h) {
-  if (Event* done = h.promise().done) done->notify();
-  live_.erase(h.address());
+  Process::promise_type& p = h.promise();
+  if (Event* done = p.done) done->notify();
+  if (p.live_prev != nullptr) {
+    p.live_prev->live_next = p.live_next;
+  } else {
+    live_head_ = p.live_next;
+  }
+  if (p.live_next != nullptr) p.live_next->live_prev = p.live_prev;
+  --live_count_;
 }
 
 // ----------------------------------------------------------------- Resource
 
 void Resource::release() {
-  if (!waiters_.empty()) {
-    std::coroutine_handle<> next = waiters_.front();
-    waiters_.pop_front();
+  if (kernel_->destroying_) {
+    // Reachable from ~Lease while ~Kernel tears down suspended frames: the
+    // queued waiters' promises may already be freed — do not touch them.
+    waiters_ = {};
+    return;
+  }
+  if (Process::promise_type* next = waiters_.pop()) {
     // Hand the unit directly to the next waiter: available_ stays 0.
-    kernel_->resume_at(kernel_->now(), next);
+    kernel_->schedule_now(Process::Handle::from_promise(*next));
     return;
   }
   if (available_ < capacity_) ++available_;

@@ -15,21 +15,36 @@
 //     structural hazards (crossbar groups, shared ADCs, NoC links),
 //   * `Clock` helpers to express cycle-quantized waits of a frequency domain.
 //
+// Scheduler architecture (the hot path of every simulation in this repo):
+//
+//   * Two tiers. Events scheduled at the *current* time — the dominant case:
+//     `Event::notify`, `Resource::release` hand-off, `spawn` — go into a FIFO
+//     ring buffer and never touch the heap. Only future-time events enter a
+//     binary min-heap of small POD entries `{time, seq, handle}` ordered by
+//     (time, seq). Because simulated time is monotone, every heap entry at
+//     the current time was scheduled (and numbered) before every ring entry,
+//     so draining heap-at-now before the ring reproduces exactly the global
+//     (time, seq) firing order of a single ordered queue.
+//   * Callbacks out of line. `call_at` parks its `std::function` in a slot
+//     table and schedules only the slot index, so no `std::function` is ever
+//     moved during heap sifts.
+//   * Intrusive bookkeeping. `Event`/`Resource` waiter FIFOs and the kernel's
+//     live-process set are singly/doubly-linked lists threaded through the
+//     coroutine promise (`Process::promise_type`); steady-state simulation
+//     performs zero allocations per event.
+//
 // The kernel is single-threaded and deterministic: given the same inputs,
-// every simulation produces bit-identical results.
+// every simulation produces bit-identical results. `order_fingerprint()`
+// exposes a hash of the (time, seq) firing stream so tests can assert the
+// event order itself, not just the end state.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <limits>
-#include <memory>
-#include <queue>
-#include <unordered_set>
+#include <stdexcept>
 #include <vector>
-
-#include "common/logging.h"
 
 namespace pim::sim {
 
@@ -60,6 +75,14 @@ class Process {
   struct promise_type {
     Kernel* kernel = nullptr;        // set by Kernel::spawn
     class Event* done = nullptr;     // completion event, if anyone joined
+    // Intrusive links, owned by the kernel machinery (never by user code):
+    // one wait-queue link (a suspended process waits on at most one Event or
+    // Resource at a time) and a doubly-linked membership in the kernel's
+    // live-process list. Keeping them in the promise makes every wait-queue
+    // and spawn/finish operation allocation-free.
+    promise_type* wait_next = nullptr;
+    promise_type* live_prev = nullptr;
+    promise_type* live_next = nullptr;
 
     Process get_return_object() { return Process(Handle::from_promise(*this)); }
     std::suspend_always initial_suspend() noexcept { return {}; }
@@ -101,6 +124,48 @@ class Process {
   Handle handle_{};
 };
 
+namespace detail {
+
+/// Intrusive FIFO of suspended processes, linked through
+/// `promise_type::wait_next`. Shared by Event and Resource.
+struct WaitQueue {
+  Process::promise_type* head = nullptr;
+  Process::promise_type* tail = nullptr;
+  size_t count = 0;
+
+  void push(Process::promise_type& p) {
+    p.wait_next = nullptr;
+    if (tail != nullptr) {
+      tail->wait_next = &p;
+    } else {
+      head = &p;
+    }
+    tail = &p;
+    ++count;
+  }
+
+  Process::promise_type* pop() {
+    Process::promise_type* p = head;
+    if (p != nullptr) {
+      head = p->wait_next;
+      if (head == nullptr) tail = nullptr;
+      p->wait_next = nullptr;
+      --count;
+    }
+    return p;
+  }
+
+  /// Detach the whole chain (head returned, queue left empty).
+  Process::promise_type* take_all() {
+    Process::promise_type* p = head;
+    head = tail = nullptr;
+    count = 0;
+    return p;
+  }
+};
+
+}  // namespace detail
+
 // ---------------------------------------------------------------------------
 // Event
 // ---------------------------------------------------------------------------
@@ -120,27 +185,27 @@ class Event {
   void notify();
 
   /// Number of processes currently blocked on this event.
-  size_t waiter_count() const { return waiters_.size(); }
+  size_t waiter_count() const { return waiters_.count; }
 
   struct Awaiter {
     Event* event;
     bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) { event->waiters_.push_back(h); }
+    void await_suspend(Process::Handle h) { event->waiters_.push(h.promise()); }
     void await_resume() const noexcept {}
   };
   Awaiter operator co_await() { return Awaiter{this}; }
 
  private:
   Kernel* kernel_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  detail::WaitQueue waiters_;
 };
 
 // ---------------------------------------------------------------------------
 // Kernel
 // ---------------------------------------------------------------------------
 
-/// The simulation scheduler. Owns the pending-event queue and the set of live
-/// process frames.
+/// The simulation scheduler. Owns the pending-event queue (same-delta ring +
+/// future-time heap) and the intrusive list of live process frames.
 class Kernel {
  public:
   Kernel() = default;
@@ -155,11 +220,19 @@ class Kernel {
   /// current time (after already-pending same-time events).
   void spawn(Process process);
 
-  /// Schedule a plain callback at absolute time `t` (must be >= now()).
+  /// Schedule a plain callback at absolute time `t` (must be >= now();
+  /// earlier times are clamped to the current time).
   void call_at(Time t, std::function<void()> fn);
 
-  /// Schedule a coroutine resumption at absolute time `t`.
-  void resume_at(Time t, std::coroutine_handle<> h);
+  /// Schedule a coroutine resumption at absolute time `t` (clamped to now()).
+  void resume_at(Time t, std::coroutine_handle<> h) {
+    const uint64_t seq = seq_++;
+    if (t <= now_) {
+      ring_push(RingItem{h.address(), seq, 0});
+    } else {
+      heap_push(HeapEntry{t, seq, h.address(), 0});
+    }
+  }
 
   /// Run until the event queue drains or `until` is reached (exclusive upper
   /// bound on event times). Returns the final simulation time.
@@ -168,9 +241,15 @@ class Kernel {
   /// Execute exactly one pending event. Returns false if the queue is empty.
   bool step();
 
-  bool empty() const { return queue_.empty(); }
+  bool empty() const { return ring_count_ == 0 && heap_.empty(); }
   uint64_t events_executed() const { return events_executed_; }
-  size_t live_process_count() const { return live_.size(); }
+  size_t live_process_count() const { return live_count_; }
+
+  /// FNV-1a hash of the (time, seq) stream of every event fired so far — a
+  /// fingerprint of the exact scheduling order. Two kernels that executed
+  /// the same workload must report identical fingerprints; any reordering of
+  /// same-time events changes the value.
+  uint64_t order_fingerprint() const { return fingerprint_; }
 
   /// Awaitable: suspend the calling process for `delta` picoseconds.
   struct DelayAwaiter {
@@ -185,24 +264,89 @@ class Kernel {
  private:
   friend struct Process::FinalAwaiter;
   friend struct Process::promise_type;
+  friend class Event;
+  friend class Resource;
   void on_process_finished(Process::Handle h);
 
-  struct Entry {
+  /// Same-delta fast path: FIFO-schedule a resumption at the current time.
+  void schedule_now(Process::Handle h) { ring_push(RingItem{h.address(), seq_++, 0}); }
+
+  // One pending event. `h` is a coroutine frame address to resume; when
+  // null, `fn` is 1 + the index of a parked callback in `fn_slots_`. POD on
+  // purpose: heap sifts move 32 bytes, never a std::function.
+  struct RingItem {
+    void* h;
+    uint64_t seq;
+    uint32_t fn;
+  };
+  struct HeapEntry {
     Time t;
     uint64_t seq;
-    std::coroutine_handle<> h;          // either a coroutine to resume ...
-    std::function<void()> fn;           // ... or a callback to invoke
-    bool operator>(const Entry& other) const {
-      if (t != other.t) return t > other.t;
-      return seq > other.seq;
-    }
+    void* h;
+    uint32_t fn;
   };
+  static bool heap_less(const HeapEntry& a, const HeapEntry& b) {
+    return a.t < b.t || (a.t == b.t && a.seq < b.seq);
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
-  std::unordered_set<void*> live_;  // frames of unfinished spawned processes
+  void ring_push(RingItem item) {
+    if (ring_count_ == ring_.size()) ring_grow();
+    ring_[(ring_head_ + ring_count_) & (ring_.size() - 1)] = item;
+    ++ring_count_;
+  }
+  RingItem ring_pop() {
+    RingItem item = ring_[ring_head_];
+    ring_head_ = (ring_head_ + 1) & (ring_.size() - 1);
+    --ring_count_;
+    return item;
+  }
+  void ring_grow();
+
+  void heap_push(HeapEntry e) {
+    size_t i = heap_.size();
+    heap_.push_back(e);
+    while (i > 0) {
+      const size_t parent = (i - 1) / 2;
+      if (!heap_less(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+  HeapEntry heap_pop();
+
+  uint32_t fn_park(std::function<void()> fn);
+  void run_callback(uint32_t fn);
+
+  /// Account for and dispatch one event (hot: inlined into run()'s loops).
+  void exec(Time t, uint64_t seq, void* h, uint32_t fn) {
+    ++events_executed_;
+    fingerprint_ = (fingerprint_ ^ t) * 0x100000001b3ull;
+    fingerprint_ = (fingerprint_ ^ seq) * 0x100000001b3ull;
+    if (h != nullptr) {
+      std::coroutine_handle<>::from_address(h).resume();
+    } else {
+      run_callback(fn);
+    }
+  }
+
+  std::vector<RingItem> ring_;  // power-of-two circular buffer; [head, head+count)
+  size_t ring_head_ = 0;
+  size_t ring_count_ = 0;
+  std::vector<HeapEntry> heap_;                  // binary min-heap on (t, seq)
+  std::vector<std::function<void()>> fn_slots_;  // parked call_at callbacks
+  std::vector<uint32_t> fn_free_;                // free slot indices
+  Process::promise_type* live_head_ = nullptr;   // unfinished spawned processes
+  size_t live_count_ = 0;
+  // True while ~Kernel destroys suspended frames. Wait-queue nodes live in
+  // coroutine promises, so once teardown starts, Event/Resource wake paths
+  // (reachable from frame destructors, e.g. a Resource::Lease) must not
+  // dereference queue links — the frames they point into may already be gone.
+  bool destroying_ = false;
   Time now_ = 0;
   uint64_t seq_ = 0;
   uint64_t events_executed_ = 0;
+  uint64_t fingerprint_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
 };
 
 // ---------------------------------------------------------------------------
@@ -233,7 +377,7 @@ class Resource {
       }
       return false;
     }
-    void await_suspend(std::coroutine_handle<> h) { res->waiters_.push_back(h); }
+    void await_suspend(Process::Handle h) { res->waiters_.push(h.promise()); }
     void await_resume() const noexcept {}
   };
   AcquireAwaiter acquire() { return AcquireAwaiter{this}; }
@@ -244,7 +388,7 @@ class Resource {
 
   uint32_t available() const { return available_; }
   uint32_t capacity() const { return capacity_; }
-  size_t queue_length() const { return waiters_.size(); }
+  size_t queue_length() const { return waiters_.count; }
   bool busy() const { return available_ == 0; }
 
   /// RAII lease helper.
@@ -278,7 +422,7 @@ class Resource {
     Resource* res;
     AcquireAwaiter inner{res};
     bool await_ready() { return inner.await_ready(); }
-    void await_suspend(std::coroutine_handle<> h) { inner.await_suspend(h); }
+    void await_suspend(Process::Handle h) { inner.await_suspend(h); }
     Lease await_resume() { return Lease(res); }
   };
   ScopedAwaiter scoped() { return ScopedAwaiter{this}; }
@@ -287,7 +431,7 @@ class Resource {
   Kernel* kernel_;
   uint32_t available_;
   uint32_t capacity_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  detail::WaitQueue waiters_;
 };
 
 // ---------------------------------------------------------------------------
@@ -299,9 +443,16 @@ class Resource {
 /// of their domain clock and convert at the boundary.
 class Clock {
  public:
-  /// `freq_mhz` must be > 0.
-  Clock(Kernel& kernel, double freq_mhz)
-      : kernel_(&kernel), period_ps_(static_cast<Time>(1e6 / freq_mhz + 0.5)) {}
+  /// `freq_mhz` must be > 0 (enforced: throws std::invalid_argument
+  /// otherwise — a non-positive frequency would make `now_cycles` divide by
+  /// zero). Frequencies above 1 THz quantize to the 1 ps resolution floor.
+  Clock(Kernel& kernel, double freq_mhz) : kernel_(&kernel) {
+    if (!(freq_mhz > 0.0)) {
+      throw std::invalid_argument("sim::Clock: freq_mhz must be > 0");
+    }
+    period_ps_ = static_cast<Time>(1e6 / freq_mhz + 0.5);
+    if (period_ps_ == 0) period_ps_ = 1;
+  }
 
   Time period_ps() const { return period_ps_; }
   Time to_ps(uint64_t cycles) const { return cycles * period_ps_; }

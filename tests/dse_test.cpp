@@ -3,6 +3,7 @@
 // round-trip the subsystem depends on.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <set>
 
@@ -379,6 +380,102 @@ TEST(CacheTest, EvaluatorReusesResultsAcrossInstances) {
     EXPECT_TRUE(warm[i].from_cache);
     EXPECT_EQ(cold[i].to_json().dump(), warm[i].to_json().dump()) << cold[i].label;
   }
+}
+
+TEST(CacheTest, SizeCapEvictsOldestFirst) {
+  const std::string dir = fresh_dir("evict");
+  const SearchSpace s = small_space();
+  const MaterializedPoint m = materialize(s, Point{{"rob_size", json::Value(4)}});
+  ASSERT_TRUE(m.feasible);
+  EvaluatedPoint stored;
+  stored.feasible = true;
+  stored.ok = true;
+  stored.metrics.latency_ms = 1.0;
+
+  // Fill an unbounded cache with 4 entries whose modification times are
+  // forced strictly apart (filesystem mtime granularity is coarser than the
+  // writes).
+  std::vector<std::string> keys;
+  uint64_t entry_bytes = 0;
+  {
+    ResultCache cache(dir);
+    // Strictly in the past: a later store must rank newer than all of these.
+    const auto base = std::filesystem::file_time_type::clock::now() - std::chrono::hours(1);
+    for (int i = 0; i < 4; ++i) {
+      const std::string key = scenario_key(m.scenario) + std::to_string(i);
+      keys.push_back(key);
+      cache.store(key, stored);
+      const std::string path =
+          dir + "/" + [&] {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%016llx",
+                          static_cast<unsigned long long>(fnv1a64(key)));
+            return std::string(buf);
+          }() + ".json";
+      std::filesystem::last_write_time(path, base + std::chrono::seconds(i));
+      entry_bytes = std::filesystem::file_size(path);
+    }
+  }
+
+  // Re-opening with a cap of ~2 entries trims the 2 oldest at construction.
+  ResultCache capped(dir, entry_bytes * 2 + entry_bytes / 2);
+  EXPECT_EQ(capped.evicted(), 2u);
+  EvaluatedPoint probe;
+  EXPECT_FALSE(capped.load(keys[0], &probe));
+  EXPECT_FALSE(capped.load(keys[1], &probe));
+  EXPECT_TRUE(capped.load(keys[2], &probe));
+  EXPECT_TRUE(capped.load(keys[3], &probe));
+
+  // A store that pushes past the cap evicts the oldest survivor.
+  const std::string newest = scenario_key(m.scenario) + "fresh";
+  capped.store(newest, stored);
+  EXPECT_EQ(capped.evicted(), 3u);
+  EXPECT_FALSE(capped.load(keys[2], &probe));
+  EXPECT_TRUE(capped.load(keys[3], &probe));
+  EXPECT_TRUE(capped.load(newest, &probe));
+}
+
+// ------------------------------------------------------------- time budget
+
+TEST(TimeBudgetTest, ApplyTimeBudgetSemantics) {
+  const SearchSpace s = small_space();
+  MaterializedPoint m = materialize(s, Point{{"rob_size", json::Value(4)}});
+  ASSERT_TRUE(m.feasible);
+
+  runtime::Scenario sc = m.scenario;
+  apply_time_budget(&sc, 0);  // no budget -> untouched
+  EXPECT_EQ(sc.arch.sim.max_time_ms, 0u);
+  apply_time_budget(&sc, 25);  // unset -> takes the exploration cap
+  EXPECT_EQ(sc.arch.sim.max_time_ms, 25u);
+  apply_time_budget(&sc, 100);  // looser cap never relaxes a stricter one
+  EXPECT_EQ(sc.arch.sim.max_time_ms, 25u);
+  apply_time_budget(&sc, 10);  // stricter cap wins
+  EXPECT_EQ(sc.arch.sim.max_time_ms, 10u);
+}
+
+TEST(TimeBudgetTest, TimedOutPointsReportedLikeInfeasible) {
+  // batch=64 on the tiny_cnn workload simulates ~2 ms — far beyond a 1 ms
+  // simulated-time budget — so the point must come back budget-infeasible,
+  // not hang the exploration or pollute the frontier.
+  const SearchSpace s = SearchSpace::from_json(json::parse(R"({
+    "name": "budget-space",
+    "base": "tiny",
+    "model": "tiny_cnn",
+    "input_hw": 8,
+    "knobs": {"batch": [1, 64]}
+  })"));
+  EvalOptions opts;
+  opts.jobs = 2;
+  opts.max_point_time_ms = 1;
+  Evaluator ev(s, opts);
+  const auto sampler = make_sampler("grid", s);
+  const std::vector<EvaluatedPoint> res = ev.evaluate(sampler->propose(SIZE_MAX, {}));
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_TRUE(res[0].feasible);  // batch=1 finishes well under budget
+  EXPECT_TRUE(res[0].ok);
+  EXPECT_FALSE(res[1].feasible);  // batch=64 exceeds it
+  EXPECT_FALSE(res[1].ok);
+  EXPECT_NE(res[1].error.find("timed out"), std::string::npos) << res[1].error;
 }
 
 // ---------------------------------------------------------------- explorer

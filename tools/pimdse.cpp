@@ -30,7 +30,11 @@ int main(int argc, char** argv) {
   args.option("--seed", "N", "1", "sampler seed (random/evolve)");
   args.option("--jobs", "N", "0", "worker threads (0 = all hardware threads)");
   args.option("--cache", "DIR", ".pimdse-cache", "result-cache directory");
+  args.option("--cache-cap-mb", "N", "512", "result-cache size cap in MiB (0 = unbounded)");
   args.flag("--no-cache", "disable the result cache");
+  args.option("--max-point-ms", "N", "0",
+              "per-point simulated-time budget in ms; timed-out points are "
+              "reported like infeasible ones (0 = no budget)");
   args.option("--out", "FILE", "dse.json", "write the full result as JSON");
   args.option("--csv", "FILE", "", "also write every evaluated point as CSV");
   args.flag("--quiet", "suppress per-point progress on stderr");
@@ -48,7 +52,12 @@ int main(int argc, char** argv) {
     opts.budget = static_cast<size_t>(args.get_unsigned("--budget"));
     opts.seed = static_cast<uint64_t>(args.get_unsigned("--seed"));
     opts.jobs = args.get_unsigned("--jobs");
-    if (!args.has("--no-cache")) opts.cache_dir = args.get("--cache");
+    if (!args.has("--no-cache")) {
+      opts.cache_dir = args.get("--cache");
+      opts.cache_max_bytes = static_cast<uint64_t>(args.get_unsigned("--cache-cap-mb")) *
+                             1024ull * 1024ull;
+    }
+    opts.max_point_time_ms = static_cast<uint64_t>(args.get_unsigned("--max-point-ms"));
     if (opts.budget == 0) {
       std::fprintf(stderr, "pimdse: --budget must be >= 1\n");
       return 2;
