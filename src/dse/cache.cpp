@@ -1,6 +1,7 @@
 #include "dse/cache.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <vector>
 
@@ -35,6 +36,13 @@ std::string scenario_key(const runtime::Scenario& s) {
   c["output_gaddr"] = json::Value(s.copts.output_gaddr);
   v["copts"] = std::move(c);
   return v.dump();
+}
+
+std::string resolve_cache_dir(const std::string& explicit_dir, const std::string& fallback) {
+  if (!explicit_dir.empty()) return explicit_dir;
+  const char* env = std::getenv("PIMDSE_CACHE_DIR");
+  if (env != nullptr && env[0] != '\0') return env;
+  return fallback;
 }
 
 ResultCache::ResultCache(std::string dir, uint64_t max_bytes)

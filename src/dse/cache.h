@@ -32,6 +32,12 @@ uint64_t fnv1a64(std::string_view data);
 /// determines the simulation outcome.
 std::string scenario_key(const runtime::Scenario& s);
 
+/// Shared-cache location resolution used by the tools: `explicit_dir` when
+/// non-empty (a flag the user passed), else $PIMDSE_CACHE_DIR when set and
+/// non-empty, else `fallback`. The env var lets CI jobs and developers
+/// point every run at one shared cache without editing command lines.
+std::string resolve_cache_dir(const std::string& explicit_dir, const std::string& fallback);
+
 struct CacheStats {
   size_t hits = 0;
   size_t misses = 0;

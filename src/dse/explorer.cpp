@@ -42,6 +42,7 @@ json::Value ExploreResult::to_json() const {
   v["evaluated"] = json::Value(points.size());
   v["infeasible"] = json::Value(infeasible_count());
   v["failed"] = json::Value(failed_count());
+  v["constraints_skipped"] = json::Value(constraints_skipped);
   json::Array pts;
   pts.reserve(points.size());
   for (const EvaluatedPoint& p : points) pts.push_back(p.to_json());
@@ -105,8 +106,10 @@ std::string ExploreResult::chart() const {
 
 std::string ExploreResult::summary() const {
   return strformat(
-      "evaluated %zu points (%zu infeasible, %zu failed) — Pareto frontier: %zu points",
-      points.size(), infeasible_count(), failed_count(), frontier.size());
+      "evaluated %zu points (%zu infeasible, %zu failed, %zu constraint-skipped) — "
+      "Pareto frontier: %zu points",
+      points.size(), infeasible_count(), failed_count(), constraints_skipped,
+      frontier.size());
 }
 
 ExploreResult explore(const SearchSpace& space, const ExploreOptions& opts) {
@@ -116,7 +119,11 @@ ExploreResult explore(const SearchSpace& space, const ExploreOptions& opts) {
   res.space_name = space.name;
   res.objectives = space.objectives;
 
-  std::unique_ptr<Sampler> sampler = make_sampler(opts.sampler, space, opts.seed);
+  SamplerOptions sopts;
+  sopts.seed = opts.seed;
+  sopts.population = opts.population;
+  sopts.generations = opts.generations;
+  std::unique_ptr<Sampler> sampler = make_sampler(opts.sampler, space, sopts);
   res.sampler = sampler->name();
 
   EvalOptions eopts;
@@ -137,6 +144,7 @@ ExploreResult explore(const SearchSpace& space, const ExploreOptions& opts) {
     res.points.insert(res.points.end(), std::make_move_iterator(evaluated.begin()),
                       std::make_move_iterator(evaluated.end()));
   }
+  res.constraints_skipped = sampler->constraint_skips();
 
   // Frontier over the feasible, finished points, reported as indices into
   // the full evaluation-order list and ranked by the first objective.

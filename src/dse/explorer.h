@@ -15,7 +15,9 @@ namespace pim::dse {
 struct ExploreOptions {
   std::string sampler = "grid";
   size_t budget = 64;            ///< max points to evaluate (cache hits included)
-  uint64_t seed = 1;             ///< sampler seed (random / evolve)
+  uint64_t seed = 1;             ///< sampler seed (random / evolve / nsga2)
+  size_t population = 16;        ///< nsga2 generation size
+  size_t generations = 0;        ///< nsga2 generation cap; 0 = until budget
   unsigned jobs = 0;             ///< BatchRunner jobs; 0 = all hardware threads
   std::string cache_dir;         ///< empty = no result cache
   uint64_t cache_max_bytes = 0;  ///< result-cache size cap; 0 = unbounded
@@ -30,6 +32,10 @@ struct ExploreResult {
   std::vector<EvaluatedPoint> points;  ///< evaluation order
   std::vector<size_t> frontier;        ///< indices into `points`, sorted by
                                        ///< the first objective (ascending)
+  /// Candidates the sampler generated but skipped because they violated the
+  /// space's declarative constraints — never materialized, never evaluated,
+  /// no budget spent. Deterministic for a given (space, sampler, seed).
+  size_t constraints_skipped = 0;
   CacheStats cache;
   unsigned jobs = 1;
   double wall_ms = 0.0;                ///< host wall-clock of the exploration

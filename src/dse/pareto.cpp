@@ -1,5 +1,9 @@
 #include "dse/pareto.h"
 
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
 namespace pim::dse {
 
 bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
@@ -21,6 +25,73 @@ std::vector<size_t> pareto_frontier(const std::vector<std::vector<double>>& rows
     if (!dominated) front.push_back(i);
   }
   return front;
+}
+
+std::vector<size_t> non_dominated_ranks(const std::vector<std::vector<double>>& rows) {
+  const size_t n = rows.size();
+  std::vector<size_t> rank(n, 0);
+  std::vector<size_t> dom_count(n, 0);          // how many rows dominate i
+  std::vector<std::vector<size_t>> dominated(n);  // rows that i dominates
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j && dominates(rows[i], rows[j])) {
+        dominated[i].push_back(j);
+        ++dom_count[j];
+      }
+    }
+  }
+  std::vector<size_t> current;
+  for (size_t i = 0; i < n; ++i) {
+    if (dom_count[i] == 0) current.push_back(i);
+  }
+  size_t r = 0;
+  while (!current.empty()) {
+    std::vector<size_t> next;
+    for (const size_t i : current) {
+      for (const size_t j : dominated[i]) {
+        if (--dom_count[j] == 0) {
+          rank[j] = r + 1;
+          next.push_back(j);
+        }
+      }
+    }
+    ++r;
+    current = std::move(next);
+  }
+  return rank;
+}
+
+std::vector<double> crowding_distances(const std::vector<std::vector<double>>& rows,
+                                       const std::vector<size_t>& front) {
+  const size_t n = front.size();
+  std::vector<double> dist(n, 0.0);
+  if (n == 0) return dist;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const size_t objectives = rows[front[0]].size();
+  std::vector<size_t> order(n);  // positions into `front`, resorted per objective
+  for (size_t obj = 0; obj < objectives; ++obj) {
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      const double va = rows[front[a]][obj], vb = rows[front[b]][obj];
+      return va < vb || (va == vb && front[a] < front[b]);
+    });
+    dist[order.front()] = dist[order.back()] = kInf;
+    const double lo = rows[front[order.front()]][obj];
+    const double hi = rows[front[order.back()]][obj];
+    if (hi <= lo) continue;  // degenerate objective: no interior contribution
+    for (size_t k = 1; k + 1 < n; ++k) {
+      dist[order[k]] +=
+          (rows[front[order[k + 1]]][obj] - rows[front[order[k - 1]]][obj]) / (hi - lo);
+    }
+  }
+  return dist;
+}
+
+bool crowded_less(size_t rank_a, double dist_a, size_t a,
+                  size_t rank_b, double dist_b, size_t b) {
+  if (rank_a != rank_b) return rank_a < rank_b;
+  if (dist_a != dist_b) return dist_a > dist_b;
+  return a < b;
 }
 
 }  // namespace pim::dse

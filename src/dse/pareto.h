@@ -1,4 +1,7 @@
-// Multi-objective Pareto analysis (minimization on every objective).
+// Multi-objective Pareto analysis (minimization on every objective),
+// including the NSGA-II building blocks — non-dominated sorting, crowding
+// distance and the crowded-comparison operator — as pure functions so the
+// sampler logic built on them is testable without a simulator.
 #pragma once
 
 #include <cstddef>
@@ -14,5 +17,25 @@ bool dominates(const std::vector<double>& a, const std::vector<double>& b);
 /// vectors are all kept (they don't dominate each other). O(n^2) — fine for
 /// the point counts a simulator-backed DSE can afford.
 std::vector<size_t> pareto_frontier(const std::vector<std::vector<double>>& rows);
+
+/// NSGA-II fast non-dominated sort: the rank of every row — 0 for the
+/// Pareto frontier, 1 for the frontier once rank 0 is removed, and so on.
+/// Duplicate rows share a rank (they never dominate each other).
+std::vector<size_t> non_dominated_ranks(const std::vector<std::vector<double>>& rows);
+
+/// NSGA-II crowding distance of each member of one front, returned in
+/// `front` order (`front` holds indices into `rows`, all of one rank).
+/// Boundary points on any objective get +infinity; interior points sum the
+/// normalized span between their sorted neighbors per objective. Ties in an
+/// objective are ordered by row index, so the result is deterministic.
+std::vector<double> crowding_distances(const std::vector<std::vector<double>>& rows,
+                                       const std::vector<size_t>& front);
+
+/// Crowded-comparison operator: true when individual `a` is preferred over
+/// `b` — strictly lower rank, then strictly larger crowding distance, then
+/// lower index. The index tiebreak makes tournament selection fully
+/// deterministic.
+bool crowded_less(size_t rank_a, double dist_a, size_t a,
+                  size_t rank_b, double dist_b, size_t b);
 
 }  // namespace pim::dse

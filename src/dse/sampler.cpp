@@ -1,5 +1,8 @@
 #include "dse/sampler.h"
 
+#include <algorithm>
+#include <map>
+#include <numeric>
 #include <random>
 #include <stdexcept>
 
@@ -7,6 +10,24 @@
 
 namespace pim::dse {
 namespace {
+
+/// Uniform draw in [0, n) by rejection over the raw mt19937_64 stream.
+/// std::uniform_int_distribution's algorithm is implementation-defined —
+/// libstdc++, libc++ and MSVC all map the same engine stream to different
+/// values — while the engine itself is pinned by the standard. Routing
+/// every sampler draw through this fixed scheme makes the *proposed point
+/// sequence* of "same seed, same exploration" hold across toolchains, not
+/// just across runs. (The golden exploration-JSON hashes in dse_test also
+/// embed simulated floating-point metrics, so those stay pinned per
+/// toolchain/arch.)
+uint64_t uniform_below(std::mt19937_64& rng, uint64_t n) {
+  const uint64_t rem = (UINT64_MAX % n + 1) % n;  // 2^64 mod n
+  const uint64_t bound = UINT64_MAX - rem;        // accept x <= bound
+  for (;;) {
+    const uint64_t x = rng();
+    if (x <= bound) return x % n;  // never rejects when n is a power of 2
+  }
+}
 
 /// Assemble the point selected by per-knob value indices.
 Point point_from_indices(const SearchSpace& space, const std::vector<size_t>& idx) {
@@ -16,6 +37,58 @@ Point point_from_indices(const SearchSpace& space, const std::vector<size_t>& id
   }
   return p;
 }
+
+Point uniform_random_point(const SearchSpace& space, std::mt19937_64& rng) {
+  std::vector<size_t> idx(space.knobs.size());
+  for (size_t k = 0; k < idx.size(); ++k) {
+    idx[k] = static_cast<size_t>(uniform_below(rng, space.knobs[k].values.size()));
+  }
+  return point_from_indices(space, idx);
+}
+
+/// Index of `p`'s value for `knob` in the knob's domain (0 when absent).
+size_t knob_value_index(const Knob& knob, const Point& p) {
+  const auto it = p.find(knob.name);
+  if (it == p.end()) return 0;
+  for (size_t i = 0; i < knob.values.size(); ++i) {
+    if (knob.values[i] == it->second) return i;
+  }
+  return 0;
+}
+
+/// One mutation move on an ordered domain: step to a neighboring value with
+/// probability 3/4, teleport to a uniform *other* value otherwise. Shared
+/// by the evolve and nsga2 samplers so their local-search behavior matches.
+size_t mutated_index(size_t cur, size_t card, std::mt19937_64& rng) {
+  if (card < 2) return cur;
+  if (uniform_below(rng, 4) != 0) {
+    const bool up = cur + 1 < card && (cur == 0 || uniform_below(rng, 2) == 1);
+    return up ? cur + 1 : cur - 1;
+  }
+  size_t next = static_cast<size_t>(uniform_below(rng, card - 1));
+  if (next >= cur) ++next;  // uniform over the *other* values
+  return next;
+}
+
+}  // namespace
+
+void Sampler::fill_with_random(std::vector<Point>* out, size_t max_points,
+                               std::mt19937_64& rng, std::set<std::string>& seen) {
+  size_t rejections = 0;
+  const size_t max_rejections = 64 * max_points + 1024;
+  while (out->size() < max_points && rejections < max_rejections) {
+    Point p = uniform_random_point(space_, rng);
+    if (!admissible(p)) {
+      ++rejections;
+    } else if (seen.insert(point_key(p)).second) {
+      out->push_back(std::move(p));
+    } else {
+      ++rejections;
+    }
+  }
+}
+
+namespace {
 
 // ----------------------------------------------------------------------- grid
 
@@ -30,7 +103,7 @@ class GridSampler final : public Sampler {
                              const std::vector<EvaluatedPoint>&) override {
     std::vector<Point> out;
     while (!exhausted_ && out.size() < max_points) {
-      out.push_back(point_from_indices(space_, cursor_));
+      Point p = point_from_indices(space_, cursor_);
       // Odometer increment, last knob fastest.
       size_t k = cursor_.size();
       for (;;) {
@@ -42,6 +115,7 @@ class GridSampler final : public Sampler {
         if (++cursor_[k] < space_.knobs[k].values.size()) break;
         cursor_[k] = 0;
       }
+      if (admissible(p)) out.push_back(std::move(p));
     }
     return out;
   }
@@ -62,24 +136,10 @@ class RandomSampler final : public Sampler {
   std::vector<Point> propose(size_t max_points,
                              const std::vector<EvaluatedPoint>& history) override {
     for (const EvaluatedPoint& h : history) seen_.insert(point_key(h.point));
+    // Sampling without replacement by rejection (duplicates and
+    // constraint-infeasible candidates both count against the bail-out).
     std::vector<Point> out;
-    // Sampling without replacement by rejection; bail out once the space is
-    // plausibly exhausted so small spaces with big budgets still terminate.
-    size_t rejections = 0;
-    const size_t max_rejections = 64 * max_points + 1024;
-    while (out.size() < max_points && rejections < max_rejections) {
-      std::vector<size_t> idx(space_.knobs.size());
-      for (size_t k = 0; k < idx.size(); ++k) {
-        idx[k] = std::uniform_int_distribution<size_t>(
-            0, space_.knobs[k].values.size() - 1)(rng_);
-      }
-      Point p = point_from_indices(space_, idx);
-      if (seen_.insert(point_key(p)).second) {
-        out.push_back(std::move(p));
-      } else {
-        ++rejections;
-      }
-    }
+    fill_with_random(&out, max_points, rng_, seen_);
     return out;
   }
 
@@ -91,10 +151,8 @@ class RandomSampler final : public Sampler {
 // --------------------------------------------------------------------- evolve
 
 /// (1+λ) hill climb over the Pareto frontier: every generation mutates the
-/// current non-dominated points one knob at a time (stepping to a
-/// neighboring value with probability 3/4, teleporting to a uniform value
-/// otherwise), topping the generation up with fresh random points when the
-/// neighborhood is exhausted.
+/// current non-dominated points one knob at a time, topping the generation
+/// up with fresh random points when the neighborhood is exhausted.
 class EvolveSampler final : public Sampler {
  public:
   EvolveSampler(const SearchSpace& space, uint64_t seed) : Sampler(space), rng_(seed) {}
@@ -121,62 +179,24 @@ class EvolveSampler final : public Sampler {
       const std::vector<size_t> front = pareto_frontier(objs);
       for (size_t i = 0; out.size() < max_points && i < 8 * max_points; ++i) {
         Point child = mutate(usable[front[i % front.size()]]->point);
+        if (!admissible(child)) continue;
         if (seen_.insert(point_key(child)).second) out.push_back(std::move(child));
       }
     }
     // Seed generation, or refill when mutation can't find new neighbors.
-    size_t rejections = 0;
-    while (out.size() < max_points && rejections < 64 * max_points + 1024) {
-      Point p = random_point();
-      if (seen_.insert(point_key(p)).second) {
-        out.push_back(std::move(p));
-      } else {
-        ++rejections;
-      }
-    }
+    fill_with_random(&out, max_points, rng_, seen_);
     return out;
   }
 
  private:
   static constexpr size_t kGeneration = 8;
 
-  Point random_point() {
-    std::vector<size_t> idx(space_.knobs.size());
-    for (size_t k = 0; k < idx.size(); ++k) {
-      idx[k] = std::uniform_int_distribution<size_t>(
-          0, space_.knobs[k].values.size() - 1)(rng_);
-    }
-    return point_from_indices(space_, idx);
-  }
-
   Point mutate(const Point& parent) {
     Point child = parent;
-    const size_t k =
-        std::uniform_int_distribution<size_t>(0, space_.knobs.size() - 1)(rng_);
+    const size_t k = static_cast<size_t>(uniform_below(rng_, space_.knobs.size()));
     const Knob& knob = space_.knobs[k];
-    const size_t card = knob.values.size();
-    // Current value's index in the knob domain.
-    size_t cur = 0;
-    const auto it = child.find(knob.name);
-    for (size_t i = 0; i < card; ++i) {
-      if (it != child.end() && knob.values[i] == it->second) {
-        cur = i;
-        break;
-      }
-    }
-    size_t next = cur;
-    if (card > 1) {
-      if (std::uniform_int_distribution<int>(0, 3)(rng_) != 0) {
-        // Neighbor step along the (ordered) domain.
-        const bool up = cur + 1 < card &&
-                        (cur == 0 || std::uniform_int_distribution<int>(0, 1)(rng_) == 1);
-        next = up ? cur + 1 : cur - 1;
-      } else {
-        next = std::uniform_int_distribution<size_t>(0, card - 2)(rng_);
-        if (next >= cur) ++next;  // uniform over the *other* values
-      }
-    }
-    child[knob.name] = knob.values[next];
+    const size_t cur = knob_value_index(knob, child);
+    child[knob.name] = knob.values[mutated_index(cur, knob.values.size(), rng_)];
     return child;
   }
 
@@ -184,15 +204,141 @@ class EvolveSampler final : public Sampler {
   std::set<std::string> seen_;
 };
 
+// ---------------------------------------------------------------------- nsga2
+
+/// NSGA-II-style multi-objective evolutionary sampler. Each generation
+/// ranks the evaluated history by fast non-dominated sort, scores each
+/// front by crowding distance, truncates to the `population` best
+/// individuals under the crowded-comparison operator (environmental
+/// selection over the *whole* history, which makes the scheme elitist),
+/// and breeds children via binary tournaments on that elite set, per-knob
+/// uniform crossover and per-knob mutation. The crowding term keeps the
+/// elite spread along the frontier instead of collapsing into one corner.
+class Nsga2Sampler final : public Sampler {
+ public:
+  Nsga2Sampler(const SearchSpace& space, const SamplerOptions& opts)
+      : Sampler(space),
+        rng_(opts.seed),
+        population_(std::max<size_t>(2, opts.population)),
+        generations_(opts.generations) {}
+
+  std::string name() const override { return "nsga2"; }
+  size_t generation_size() const override { return population_; }
+
+  std::vector<Point> propose(size_t max_points,
+                             const std::vector<EvaluatedPoint>& history) override {
+    if (generations_ != 0 && rounds_ >= generations_) return {};
+    ++rounds_;
+    for (const EvaluatedPoint& h : history) seen_.insert(point_key(h.point));
+
+    std::vector<const EvaluatedPoint*> usable;
+    for (const EvaluatedPoint& h : history) {
+      if (h.feasible && h.ok) usable.push_back(&h);
+    }
+
+    std::vector<Point> out;
+    if (!usable.empty()) {
+      std::vector<std::vector<double>> rows;
+      rows.reserve(usable.size());
+      for (const EvaluatedPoint* e : usable) {
+        rows.push_back(e->objective_values(space_.objectives));
+      }
+      const std::vector<size_t> ranks = non_dominated_ranks(rows);
+      // Crowding distance per individual, computed front by front.
+      std::vector<double> crowding(rows.size(), 0.0);
+      std::map<size_t, std::vector<size_t>> fronts;
+      for (size_t i = 0; i < ranks.size(); ++i) fronts[ranks[i]].push_back(i);
+      for (const auto& [rank, front] : fronts) {
+        (void)rank;
+        const std::vector<double> d = crowding_distances(rows, front);
+        for (size_t k = 0; k < front.size(); ++k) crowding[front[k]] = d[k];
+      }
+
+      // Environmental selection: the best `population_` individuals under
+      // the crowded comparison form the mating pool. Tournaments over the
+      // raw history would let long-dominated points win often enough to
+      // dilute the search; truncating first is what gives NSGA-II its
+      // selection pressure.
+      std::vector<size_t> elite(rows.size());
+      std::iota(elite.begin(), elite.end(), size_t{0});
+      std::sort(elite.begin(), elite.end(), [&](size_t a, size_t b) {
+        return crowded_less(ranks[a], crowding[a], a, ranks[b], crowding[b], b);
+      });
+      if (elite.size() > population_) elite.resize(population_);
+
+      const auto tournament = [&]() -> const Point& {
+        const size_t a = elite[uniform_below(rng_, elite.size())];
+        const size_t b = elite[uniform_below(rng_, elite.size())];
+        const bool a_wins = crowded_less(ranks[a], crowding[a], a, ranks[b], crowding[b], b);
+        return usable[a_wins ? a : b]->point;
+      };
+
+      for (size_t tries = 0; out.size() < max_points && tries < 16 * max_points + 64;
+           ++tries) {
+        // Bind the parents one at a time: function-argument evaluation
+        // order is unspecified, and both tournaments draw from rng_ — the
+        // determinism contract must hold across compilers, not just runs.
+        const Point& mother = tournament();
+        const Point& father = tournament();
+        Point child = crossover(mother, father);
+        mutate(&child);
+        if (!admissible(child)) continue;
+        if (seen_.insert(point_key(child)).second) out.push_back(std::move(child));
+      }
+    }
+    // Initial population, or refill when breeding stops finding new points.
+    fill_with_random(&out, max_points, rng_, seen_);
+    return out;
+  }
+
+ private:
+  /// Per-knob uniform crossover: each knob's value comes from either
+  /// parent with equal probability.
+  Point crossover(const Point& a, const Point& b) {
+    Point child;
+    for (const Knob& knob : space_.knobs) {
+      const Point& src = uniform_below(rng_, 2) == 0 ? a : b;
+      const auto it = src.find(knob.name);
+      child[knob.name] = it != src.end() ? it->second : knob.values[0];
+    }
+    return child;
+  }
+
+  /// Mutate each knob with probability ~1/knob_count (at least one knob is
+  /// always eligible), using the shared neighbor-step/teleport move.
+  void mutate(Point* p) {
+    const size_t n = space_.knobs.size();
+    for (const Knob& knob : space_.knobs) {
+      if (uniform_below(rng_, n) != 0) continue;
+      const size_t cur = knob_value_index(knob, *p);
+      (*p)[knob.name] = knob.values[mutated_index(cur, knob.values.size(), rng_)];
+    }
+  }
+
+  std::mt19937_64 rng_;
+  size_t population_;
+  size_t generations_;
+  size_t rounds_ = 0;
+  std::set<std::string> seen_;
+};
+
 }  // namespace
 
 std::unique_ptr<Sampler> make_sampler(const std::string& kind, const SearchSpace& space,
                                       uint64_t seed) {
+  SamplerOptions opts;
+  opts.seed = seed;
+  return make_sampler(kind, space, opts);
+}
+
+std::unique_ptr<Sampler> make_sampler(const std::string& kind, const SearchSpace& space,
+                                      const SamplerOptions& opts) {
   if (kind == "grid") return std::make_unique<GridSampler>(space);
-  if (kind == "random") return std::make_unique<RandomSampler>(space, seed);
-  if (kind == "evolve") return std::make_unique<EvolveSampler>(space, seed);
+  if (kind == "random") return std::make_unique<RandomSampler>(space, opts.seed);
+  if (kind == "evolve") return std::make_unique<EvolveSampler>(space, opts.seed);
+  if (kind == "nsga2") return std::make_unique<Nsga2Sampler>(space, opts);
   throw std::invalid_argument("dse: unknown sampler \"" + kind +
-                              "\" (expected grid|random|evolve)");
+                              "\" (expected grid|random|evolve|nsga2)");
 }
 
 }  // namespace pim::dse

@@ -1,5 +1,5 @@
 // Samplers: strategies for picking which points of a search space to
-// evaluate. All three are deterministic — the same space, seed and
+// evaluate. All four are deterministic — the same space, seed and
 // evaluation history always propose the same points, independent of the
 // host thread count — which is what makes exploration results reproducible
 // and the result cache effective across runs.
@@ -9,6 +9,13 @@
 //   random  seeded uniform sampling without replacement
 //   evolve  (1+λ)-style hill climb: seeds with random points, then mutates
 //           the current Pareto frontier one knob at a time
+//   nsga2   NSGA-II-style multi-objective evolutionary search: binary
+//           tournaments on (non-dominated rank, crowding distance), per-knob
+//           uniform crossover and mutation (pareto.h holds the primitives)
+//
+// Every sampler consults the space's declarative constraints *before*
+// proposing a point — constraint-infeasible corners are skipped (and
+// counted, see constraint_skips()) instead of burning evaluation budget.
 //
 // Samplers are incremental: explore() (explorer.h) repeatedly calls
 // propose() with the evaluation history so far and stops when the budget is
@@ -17,6 +24,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <random>
 #include <set>
 #include <string>
 #include <vector>
@@ -42,13 +50,46 @@ class Sampler {
   virtual std::vector<Point> propose(size_t max_points,
                                      const std::vector<EvaluatedPoint>& history) = 0;
 
+  /// Candidates discarded because they violated the space's declarative
+  /// constraints — generated, skipped, never proposed. Cumulative across
+  /// propose() calls; deterministic for a given (space, seed, history).
+  size_t constraint_skips() const { return constraint_skips_; }
+
  protected:
+  /// True when `p` satisfies the space's constraints; counts the rejects.
+  bool admissible(const Point& p) {
+    if (space_.satisfies(p)) return true;
+    ++constraint_skips_;
+    return false;
+  }
+
+  /// Top `out` up to `max_points` with fresh admissible uniform-random
+  /// points not in `seen` — the shared seed/refill loop of the random,
+  /// evolve and nsga2 samplers. Bails out after a bounded number of
+  /// duplicate/infeasible draws so a plausibly exhausted space terminates.
+  void fill_with_random(std::vector<Point>* out, size_t max_points, std::mt19937_64& rng,
+                        std::set<std::string>& seen);
+
   const SearchSpace& space_;
+  size_t constraint_skips_ = 0;
 };
 
-/// kind: "grid" | "random" | "evolve". Throws std::invalid_argument on
-/// anything else.
+/// Tuning knobs beyond the space itself. `population` and `generations`
+/// only affect the nsga2 sampler; generations == 0 means "until the
+/// explorer's budget is spent". The cap counts every propose() round,
+/// including the initial random seeding round — breeding needs at least
+/// generations >= 2.
+struct SamplerOptions {
+  uint64_t seed = 1;
+  size_t population = 16;
+  size_t generations = 0;
+};
+
+/// kind: "grid" | "random" | "evolve" | "nsga2". Throws
+/// std::invalid_argument on anything else.
 std::unique_ptr<Sampler> make_sampler(const std::string& kind, const SearchSpace& space,
                                       uint64_t seed = 1);
+std::unique_ptr<Sampler> make_sampler(const std::string& kind, const SearchSpace& space,
+                                      const SamplerOptions& opts);
 
 }  // namespace pim::dse

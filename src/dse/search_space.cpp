@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <functional>
 #include <limits>
+#include <set>
 #include <stdexcept>
 
 #include "common/strings.h"
@@ -178,7 +180,269 @@ void check_knob_value(const std::string& name, const json::Value& v,
        "config path such as \"core.local_memory.size_bytes\")");
 }
 
+// ---------------------------------------------------------------- constraints
+
+const char* op_text(CmpOp op) {
+  switch (op) {
+    case CmpOp::Lt: return "<";
+    case CmpOp::Le: return "<=";
+    case CmpOp::Gt: return ">";
+    case CmpOp::Ge: return ">=";
+    case CmpOp::Eq: return "==";
+    case CmpOp::Ne: return "!=";
+  }
+  return "?";
+}
+
+/// Compare two knob values. Numbers compare numerically (int vs double is
+/// fine); strings and bools support equality only — the parser has already
+/// rejected ordering on non-numeric operands.
+bool compare_values(const json::Value& a, CmpOp op, const json::Value& b) {
+  if (a.is_number() && b.is_number()) {
+    const double x = a.as_double(), y = b.as_double();
+    switch (op) {
+      case CmpOp::Lt: return x < y;
+      case CmpOp::Le: return x <= y;
+      case CmpOp::Gt: return x > y;
+      case CmpOp::Ge: return x >= y;
+      case CmpOp::Eq: return x == y;
+      case CmpOp::Ne: return x != y;
+    }
+  }
+  switch (op) {
+    case CmpOp::Eq: return a == b;
+    case CmpOp::Ne: return !(a == b);
+    default:
+      fail("constraint compares non-numeric values with \"" + std::string(op_text(op)) + "\"");
+  }
+}
+
+/// Both operand types usable under `op`? Ordering needs two numbers;
+/// equality additionally accepts two strings or two bools.
+bool types_comparable(const json::Value& a, CmpOp op, const json::Value& b) {
+  if (a.is_number() && b.is_number()) return true;
+  if (op != CmpOp::Eq && op != CmpOp::Ne) return false;
+  return (a.is_string() && b.is_string()) || (a.is_bool() && b.is_bool());
+}
+
+/// Parse one side of a constraint: `knob OP rhs` where rhs is a knob name
+/// or a literal (JSON number / bool / quoted string, or a bare word taken
+/// as a string, e.g. `policy == util`).
+Predicate parse_predicate(const std::string& text, const SearchSpace& space,
+                          const std::string& full) {
+  const auto bad = [&full](const std::string& why) {
+    fail("constraint \"" + full + "\": " + why);
+  };
+  size_t pos = std::string::npos;
+  size_t op_len = 0;
+  CmpOp op = CmpOp::Eq;
+  for (size_t i = 0; i < text.size() && pos == std::string::npos; ++i) {
+    const std::string_view two = std::string_view(text).substr(i, 2);
+    if (two == "<=") { pos = i; op_len = 2; op = CmpOp::Le; }
+    else if (two == ">=") { pos = i; op_len = 2; op = CmpOp::Ge; }
+    else if (two == "==") { pos = i; op_len = 2; op = CmpOp::Eq; }
+    else if (two == "!=") { pos = i; op_len = 2; op = CmpOp::Ne; }
+    else if (text[i] == '<') { pos = i; op_len = 1; op = CmpOp::Lt; }
+    else if (text[i] == '>') { pos = i; op_len = 1; op = CmpOp::Gt; }
+  }
+  if (pos == std::string::npos) bad("expected a comparison (<, <=, >, >=, ==, !=)");
+
+  Predicate pred;
+  pred.op = op;
+  pred.lhs = std::string(trim(text.substr(0, pos)));
+  const std::string rhs = std::string(trim(text.substr(pos + op_len)));
+  if (pred.lhs.empty() || rhs.empty()) bad("missing operand around \"" + std::string(op_text(op)) + "\"");
+
+  const Knob* lhs_knob = space.find_knob(pred.lhs);
+  if (lhs_knob == nullptr) bad("unknown knob \"" + pred.lhs + "\"");
+
+  std::vector<const json::Value*> rhs_domain;
+  if (const Knob* k = space.find_knob(rhs)) {
+    pred.rhs_is_knob = true;
+    pred.rhs_knob = rhs;
+    for (const json::Value& v : k->values) rhs_domain.push_back(&v);
+  } else {
+    try {
+      pred.rhs_value = json::parse(rhs);
+      if (pred.rhs_value.is_array() || pred.rhs_value.is_object() || pred.rhs_value.is_null()) {
+        bad("literal \"" + rhs + "\" must be a number, bool or string");
+      }
+    } catch (const json::Error&) {
+      pred.rhs_value = json::Value(rhs);  // bare word -> string literal
+    }
+    rhs_domain.push_back(&pred.rhs_value);
+  }
+
+  // Type-check every candidate operand pair now, not at sampling time.
+  for (const json::Value& lv : lhs_knob->values) {
+    for (const json::Value* rv : rhs_domain) {
+      if (!types_comparable(lv, pred.op, *rv)) {
+        bad("type mismatch: cannot compare " + lv.dump() + " " + op_text(pred.op) + " " +
+            rv->dump());
+      }
+    }
+  }
+  return pred;
+}
+
+/// True when some assignment of `knobs` (odometer order, last knob
+/// fastest) satisfies `fn` — the satisfiability sweep shared by the
+/// per-constraint and whole-space checks. Callers bound the product of the
+/// domain cardinalities before calling; this helper just enumerates.
+bool any_assignment(const std::vector<const Knob*>& knobs,
+                    const std::function<bool(const Point&)>& fn) {
+  std::vector<size_t> idx(knobs.size(), 0);
+  for (;;) {
+    Point p;
+    for (size_t k = 0; k < knobs.size(); ++k) p[knobs[k]->name] = knobs[k]->values[idx[k]];
+    if (fn(p)) return true;
+    size_t k = idx.size();
+    for (;;) {
+      if (k == 0) return false;
+      --k;
+      if (++idx[k] < knobs[k]->values.size()) break;
+      idx[k] = 0;
+    }
+  }
+}
+
+/// Product of the involved domain cardinalities, saturating at `cap + 1`
+/// so a pathological range knob cannot overflow uint64 and sneak a huge
+/// sweep past the caller's threshold.
+uint64_t capped_combo_count(const std::vector<const Knob*>& knobs, uint64_t cap) {
+  uint64_t combos = 1;
+  for (const Knob* k : knobs) {
+    combos *= k->values.size();
+    if (combos > cap) return cap + 1;
+  }
+  return combos;
+}
+
+/// Reject cyclic implication chains (a -> b, b -> a). This is a deliberate
+/// conservative lint, not a logical necessity: such a pair can be
+/// satisfiable, but chained implications over the same knobs almost always
+/// indicate a mis-stated spec, and keeping chains acyclic is what lets a
+/// future repair strategy (ROADMAP) propagate consequents with guaranteed
+/// termination. Edges run from each antecedent knob to each consequent
+/// knob; a constraint mentioning the same knob on both sides is fine (that
+/// is just a restricted comparison).
+void check_implication_acyclic(const std::vector<Constraint>& constraints) {
+  std::map<std::string, std::set<std::string>> edges;
+  for (const Constraint& c : constraints) {
+    if (!c.antecedent) continue;
+    std::vector<std::string> from = {c.antecedent->lhs};
+    if (c.antecedent->rhs_is_knob) from.push_back(c.antecedent->rhs_knob);
+    std::vector<std::string> to = {c.consequent.lhs};
+    if (c.consequent.rhs_is_knob) to.push_back(c.consequent.rhs_knob);
+    for (const std::string& f : from) {
+      for (const std::string& t : to) {
+        if (f != t) edges[f].insert(t);
+      }
+    }
+  }
+  enum class Mark { White, Grey, Black };
+  std::map<std::string, Mark> mark;
+  const std::function<void(const std::string&)> visit = [&](const std::string& knob) {
+    Mark& m = mark[knob];
+    if (m == Mark::Grey) {
+      fail("constraints form a cyclic implication chain through knob \"" + knob + "\"");
+    }
+    if (m == Mark::Black) return;
+    m = Mark::Grey;
+    const auto it = edges.find(knob);
+    if (it != edges.end()) {
+      for (const std::string& next : it->second) visit(next);
+    }
+    mark[knob] = Mark::Black;
+  };
+  for (const auto& [knob, _] : edges) visit(knob);
+}
+
+/// The per-constraint satisfiability check inside Constraint::parse cannot
+/// see a jointly-empty region spread across constraints ("x <= 4" plus
+/// "x >= 8" are each fine alone). Sweep the whole grid when it is small
+/// enough to afford at load time; larger spaces surface the problem as an
+/// exploration that evaluates zero points.
+void check_constraints_jointly_satisfiable(const SearchSpace& s) {
+  if (s.constraints.empty() || s.grid_size() > 65536) return;  // grid_size saturates
+  std::vector<const Knob*> knobs;
+  knobs.reserve(s.knobs.size());
+  for (const Knob& k : s.knobs) knobs.push_back(&k);
+  if (!any_assignment(knobs, [&s](const Point& p) { return s.satisfies(p); })) {
+    fail("constraints are jointly unsatisfiable: no point of the space "
+         "satisfies all of them (empty feasible region)");
+  }
+}
+
+/// Every knob a constraint reads, without duplicates.
+std::vector<const Knob*> involved_knobs(const Constraint& c, const SearchSpace& space) {
+  std::vector<const Knob*> out;
+  const auto add = [&](const Predicate& p) {
+    for (const std::string* name : {&p.lhs, &p.rhs_knob}) {
+      if (name->empty()) continue;
+      const Knob* k = space.find_knob(*name);
+      if (k != nullptr && std::find(out.begin(), out.end(), k) == out.end()) out.push_back(k);
+    }
+  };
+  if (c.antecedent) add(*c.antecedent);
+  add(c.consequent);
+  return out;
+}
+
 }  // namespace
+
+bool Predicate::holds(const Point& p) const {
+  const auto lhs_it = p.find(lhs);
+  if (lhs_it == p.end()) return true;  // unassigned knob: vacuously true
+  const json::Value* rhs = &rhs_value;
+  if (rhs_is_knob) {
+    const auto rhs_it = p.find(rhs_knob);
+    if (rhs_it == p.end()) return true;
+    rhs = &rhs_it->second;
+  }
+  return compare_values(lhs_it->second, op, *rhs);
+}
+
+bool Constraint::holds(const Point& p) const {
+  if (antecedent && !antecedent->holds(p)) return true;  // implication: A false
+  return consequent.holds(p);
+}
+
+Constraint Constraint::parse(const std::string& text, const SearchSpace& space) {
+  Constraint c;
+  c.text = text;
+  const size_t arrow = text.find("->");
+  if (arrow != std::string::npos) {
+    const std::string tail = text.substr(arrow + 2);
+    if (tail.find("->") != std::string::npos) {
+      fail("constraint \"" + text + "\": at most one \"->\" implication allowed");
+    }
+    c.antecedent = parse_predicate(text.substr(0, arrow), space, text);
+    c.consequent = parse_predicate(tail, space, text);
+  } else {
+    c.consequent = parse_predicate(text, space, text);
+  }
+
+  // Per-constraint satisfiability over the involved knob domains: a
+  // constraint no assignment can satisfy empties the feasible region, which
+  // is always a spec bug — reject it at load time. The product of the (at
+  // most four) involved domains is tiny in practice; skip the sweep if a
+  // pathological space makes it large.
+  const std::vector<const Knob*> knobs = involved_knobs(c, space);
+  if (capped_combo_count(knobs, 65536) <= 65536 &&
+      !any_assignment(knobs, [&c](const Point& p) { return c.holds(p); })) {
+    fail("constraint \"" + text +
+         "\" is unsatisfiable over the knob domains (empty feasible region)");
+  }
+  return c;
+}
+
+bool SearchSpace::satisfies(const Point& p) const {
+  for (const Constraint& c : constraints) {
+    if (!c.holds(p)) return false;
+  }
+  return true;
+}
 
 void set_json_path(json::Value* root, const std::string& dotted, const json::Value& v) {
   json::Value* node = root;
@@ -341,6 +605,18 @@ SearchSpace SearchSpace::from_json(const json::Value& v, const std::string& base
       s.objectives.push_back(o.as_string());
     }
     if (s.objectives.empty()) fail("\"objectives\" must not be empty");
+  }
+
+  if (v.contains("constraints")) {
+    if (!v.at("constraints").is_array()) fail("\"constraints\" must be an array of strings");
+    for (const json::Value& c : v.at("constraints").as_array()) {
+      if (!c.is_string()) {
+        fail("\"constraints\" entries must be strings, got " + c.dump());
+      }
+      s.constraints.push_back(Constraint::parse(c.as_string(), s));
+    }
+    check_implication_acyclic(s.constraints);
+    check_constraints_jointly_satisfiable(s);
   }
   return s;
 }

@@ -21,7 +21,11 @@
 //       "policy": ["perf", "util"],
 //       "core.local_memory.size_bytes": [65536, 131072] // any config path
 //     },
-//     "objectives": ["latency_ms", "energy_uj", "power_mw", "area_mm2"]
+//     "objectives": ["latency_ms", "energy_uj", "power_mw", "area_mm2"],
+//     "constraints": [
+//       "adcs_per_core <= xbars_per_core",            // comparison
+//       "policy == util -> rob_size >= 8"             // implication
+//     ]
 //   }
 //
 // Knob names are either *structured* (the registry in search_space.cpp's
@@ -31,10 +35,20 @@
 // validated when the space is parsed, so a typo fails at load time, not
 // after an hour of simulation. Knobs are kept sorted by name (JSON object
 // order) — that sorted order is also the grid-enumeration order.
+//
+// The optional "constraints" block declares infeasible corners *up front*
+// so samplers can skip them before materialization, instead of burning
+// evaluation budget on points that ArchConfig::validate() will reject.
+// Each constraint is either a bare comparison `knob OP (knob | literal)`
+// with OP in {<, <=, >, >=, ==, !=}, or an implication `pred -> pred`
+// ("whenever the left predicate holds, the right one must too"). Knob
+// names, operand types, per-constraint satisfiability and implication
+// acyclicity are all checked at parse time.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -53,6 +67,44 @@ struct Knob {
 /// One point of the space: knob name -> chosen value. std::map keeps the
 /// keys sorted, so labels, digests and JSON dumps are deterministic.
 using Point = std::map<std::string, json::Value>;
+
+struct SearchSpace;
+
+/// Comparison operator of one constraint predicate.
+enum class CmpOp { Lt, Le, Gt, Ge, Eq, Ne };
+
+/// One constraint predicate: `knob OP (knob | literal)`. The left side
+/// always names a knob; the right side is another knob when the name
+/// matches one, a literal value otherwise.
+struct Predicate {
+  std::string lhs;
+  CmpOp op = CmpOp::Eq;
+  bool rhs_is_knob = false;
+  std::string rhs_knob;
+  json::Value rhs_value;
+
+  /// True when the predicate holds on `p`. A point that doesn't assign
+  /// every involved knob cannot be judged, so the predicate holds
+  /// vacuously (samplers always build full assignments).
+  bool holds(const Point& p) const;
+};
+
+/// One declarative constraint: a bare comparison, or an implication whose
+/// consequent must hold whenever the antecedent does.
+struct Constraint {
+  std::string text;                     ///< original source, for messages
+  std::optional<Predicate> antecedent;  ///< empty for bare comparisons
+  Predicate consequent;
+
+  bool holds(const Point& p) const;
+
+  /// Parse "lhs OP rhs" or "pred -> pred" against `space`'s knobs.
+  /// Validates knob names, operand types (ordering needs numbers; == and
+  /// != additionally accept matching strings/bools) and satisfiability
+  /// over the involved knob domains. Throws std::invalid_argument quoting
+  /// `text` on any error.
+  static Constraint parse(const std::string& text, const SearchSpace& space);
+};
 
 /// "adcs_per_core=4 rob_size=8" — compact human-readable point id.
 std::string point_label(const Point& p);
@@ -110,11 +162,17 @@ struct SearchSpace {
   uint64_t input_seed = 7;
   std::vector<Knob> knobs;          ///< sorted by name (grid enumeration order)
   std::vector<std::string> objectives = {"latency_ms", "energy_uj", "power_mw", "area_mm2"};
+  std::vector<Constraint> constraints;
 
   /// Cartesian-product cardinality, saturating at UINT64_MAX.
   uint64_t grid_size() const;
 
   const Knob* find_knob(const std::string& name) const;
+
+  /// True when `p` satisfies every declared constraint. Samplers call this
+  /// before proposing a point, so constraint-infeasible assignments are
+  /// never materialized or evaluated.
+  bool satisfies(const Point& p) const;
 
   /// Parse + validate a space description. `base_dir` resolves a relative
   /// "base_config" path. Throws std::invalid_argument on any schema error.

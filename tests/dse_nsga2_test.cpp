@@ -1,0 +1,464 @@
+// NSGA-II internals as pure functions (non-dominated sort, crowding
+// distance, crowded-comparison tournaments) and the declarative
+// "constraints" block: parsing, adversarial rejection, constraint-aware
+// sampling, and the frontier-quality contract of the nsga2 sampler vs the
+// evolve hill climb on a seeded synthetic space.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <set>
+
+#include "dse/explorer.h"
+#include "dse/pareto.h"
+#include "dse/sampler.h"
+#include "dse/search_space.h"
+
+namespace pim::dse {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+SearchSpace parse_space(const char* text) {
+  return SearchSpace::from_json(json::parse(text));
+}
+
+/// Synthetic space: 600 grid points, never simulated — tests evaluate it
+/// with the rugged analytic objectives of synthetic_evaluate() below.
+SearchSpace synthetic_space() {
+  return parse_space(R"({
+    "name": "synthetic",
+    "base": "tiny",
+    "model": "mlp",
+    "knobs": {
+      "adcs_per_core": [1, 2, 4, 8, 16, 32],
+      "rob_size": [1, 2, 4, 8, 16],
+      "noc_link_bytes": [4, 8, 16, 32, 64],
+      "batch": [1, 2, 3, 4]
+    },
+    "objectives": ["latency_ms", "energy_uj"]
+  })");
+}
+
+/// Index of `p`'s value in `knob`'s ordered domain.
+size_t knob_index(const SearchSpace& s, const char* knob, const Point& p) {
+  const Knob* k = s.find_knob(knob);
+  for (size_t i = 0; i < k->values.size(); ++i) {
+    if (k->values[i] == p.at(knob)) return i;
+  }
+  return 0;
+}
+
+/// Deterministic analytic objectives: latency falls and energy rises in
+/// every knob, so the Pareto frontier is a long trade-off curve — but the
+/// parity penalty terms make the landscape *rugged*: most single-knob
+/// neighbor steps flip a parity and land on a dominated shelf, the way
+/// real accelerator spaces couple knobs. That ruggedness is exactly where
+/// a population-based multi-objective search earns its keep over a local
+/// hill climb.
+EvaluatedPoint synthetic_evaluate(const SearchSpace& s, const Point& p) {
+  const double a = p.at("adcs_per_core").as_double();
+  const double r = p.at("rob_size").as_double();
+  const double n = p.at("noc_link_bytes").as_double();
+  const double b = p.at("batch").as_double();
+  const size_t ai = knob_index(s, "adcs_per_core", p);
+  const size_t ri = knob_index(s, "rob_size", p);
+  const size_t ni = knob_index(s, "noc_link_bytes", p);
+  const size_t bi = knob_index(s, "batch", p);
+  EvaluatedPoint ep;
+  ep.point = p;
+  ep.label = point_label(p);
+  ep.feasible = ep.ok = true;
+  ep.metrics.latency_ms =
+      100.0 / (a * std::sqrt(r)) + 50.0 / n + 10.0 / b + 25.0 * ((ai + ni) % 2);
+  ep.metrics.energy_uj = 2.0 * a + 1.5 * r + 0.8 * n + 3.0 * b + 15.0 * ((ri + bi) % 2);
+  return ep;
+}
+
+/// Drive one sampler for `budget` evaluations the way explore() does, but
+/// against the synthetic objectives — no simulator, so the comparison
+/// between samplers is pure sampler quality.
+std::vector<EvaluatedPoint> run_synthetic(const SearchSpace& space, const std::string& kind,
+                                          uint64_t seed, size_t budget) {
+  SamplerOptions opts;
+  opts.seed = seed;
+  opts.population = 12;
+  const auto sampler = make_sampler(kind, space, opts);
+  std::vector<EvaluatedPoint> history;
+  while (history.size() < budget) {
+    const size_t ask = std::min(budget - history.size(), sampler->generation_size());
+    const std::vector<Point> proposed = sampler->propose(ask, history);
+    if (proposed.empty()) break;
+    for (const Point& p : proposed) history.push_back(synthetic_evaluate(space, p));
+  }
+  return history;
+}
+
+size_t frontier_size(const SearchSpace& space, const std::vector<EvaluatedPoint>& pts) {
+  std::vector<std::vector<double>> rows;
+  for (const EvaluatedPoint& p : pts) {
+    if (p.feasible && p.ok) rows.push_back(p.objective_values(space.objectives));
+  }
+  return pareto_frontier(rows).size();
+}
+
+// ------------------------------------------------------- non-dominated sort
+
+TEST(NonDominatedSortTest, RanksHandBuiltFronts) {
+  // Front 0: (1,5), (3,1) and the duplicate (1,5). Front 1: (2,6), (4,4).
+  // Front 2: (5,7), dominated by members of both earlier fronts.
+  const std::vector<std::vector<double>> rows = {
+      {1.0, 5.0}, {2.0, 6.0}, {3.0, 1.0}, {4.0, 4.0}, {1.0, 5.0}, {5.0, 7.0},
+  };
+  EXPECT_EQ(non_dominated_ranks(rows), (std::vector<size_t>{0, 1, 0, 1, 0, 2}));
+}
+
+TEST(NonDominatedSortTest, SingleObjectiveDegeneratesToSortOrder) {
+  // One objective: each distinct value is its own front, duplicates share.
+  const std::vector<std::vector<double>> rows = {{3.0}, {1.0}, {2.0}, {1.0}};
+  EXPECT_EQ(non_dominated_ranks(rows), (std::vector<size_t>{2, 0, 1, 0}));
+}
+
+TEST(NonDominatedSortTest, TotallyOrderedChainAndEmptyInput) {
+  // A strictly dominated chain: one point per front.
+  const std::vector<std::vector<double>> chain = {{4.0, 4.0}, {1.0, 1.0}, {3.0, 3.0},
+                                                  {2.0, 2.0}};
+  EXPECT_EQ(non_dominated_ranks(chain), (std::vector<size_t>{3, 0, 2, 1}));
+  EXPECT_TRUE(non_dominated_ranks({}).empty());
+  // All-duplicates: everything is rank 0.
+  EXPECT_EQ(non_dominated_ranks({{2.0, 2.0}, {2.0, 2.0}}), (std::vector<size_t>{0, 0}));
+  // Ranks agree with pareto_frontier on the rank-0 set.
+  const std::vector<std::vector<double>> rows = {{1.0, 5.0}, {2.0, 6.0}, {3.0, 1.0}};
+  const std::vector<size_t> ranks = non_dominated_ranks(rows);
+  for (const size_t i : pareto_frontier(rows)) EXPECT_EQ(ranks[i], 0u);
+}
+
+// -------------------------------------------------------- crowding distance
+
+TEST(CrowdingDistanceTest, BoundaryPointsAreInfinite) {
+  // One front of four points along a line; ends get infinity, the interior
+  // points the normalized span of their neighbors.
+  const std::vector<std::vector<double>> rows = {
+      {0.0, 3.0}, {1.0, 2.0}, {2.0, 1.0}, {3.0, 0.0}};
+  const std::vector<double> d = crowding_distances(rows, {0, 1, 2, 3});
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_EQ(d[0], kInf);
+  EXPECT_EQ(d[3], kInf);
+  // Interior: (2-0)/3 per objective, two objectives.
+  EXPECT_NEAR(d[1], 2.0 * (2.0 / 3.0), 1e-12);
+  EXPECT_NEAR(d[2], 2.0 * (2.0 / 3.0), 1e-12);
+}
+
+TEST(CrowdingDistanceTest, SmallAndDegenerateFronts) {
+  const std::vector<std::vector<double>> rows = {{1.0, 1.0}, {2.0, 2.0}, {1.0, 1.0}};
+  // Singleton and pair fronts: all boundary, all infinite.
+  EXPECT_EQ(crowding_distances(rows, {0}), (std::vector<double>{kInf}));
+  EXPECT_EQ(crowding_distances(rows, {0, 1}), (std::vector<double>{kInf, kInf}));
+  // A duplicated-value front: the span is zero on every objective, so the
+  // interior duplicate contributes nothing but must not divide by zero.
+  const std::vector<double> d = crowding_distances(rows, {0, 2});
+  EXPECT_EQ(d[0], kInf);
+  EXPECT_EQ(d[1], kInf);
+  EXPECT_TRUE(crowding_distances(rows, {}).empty());
+}
+
+TEST(CrowdingDistanceTest, LessCrowdedPointScoresHigher) {
+  // Four frontier points, one isolated: the isolated interior point must
+  // get a strictly larger distance than the packed one.
+  const std::vector<std::vector<double>> rows = {
+      {0.0, 10.0}, {1.0, 9.0}, {1.5, 8.5}, {10.0, 0.0}};
+  const std::vector<double> d = crowding_distances(rows, {0, 1, 2, 3});
+  // Index 2 sits right next to 1 and far from 3 — compare interiors 1 vs 2.
+  EXPECT_GT(d[2], d[1]);
+}
+
+// ------------------------------------------------- tournaments / crowded <
+
+TEST(CrowdedCompareTest, RankThenCrowdingThenIndex) {
+  EXPECT_TRUE(crowded_less(0, 1.0, 5, 1, 9.0, 2));   // lower rank wins
+  EXPECT_FALSE(crowded_less(2, 9.0, 1, 1, 0.0, 7));
+  EXPECT_TRUE(crowded_less(1, 3.0, 5, 1, 2.0, 2));   // same rank: crowding
+  EXPECT_TRUE(crowded_less(1, kInf, 5, 1, 3.0, 2));  // infinity beats finite
+  EXPECT_TRUE(crowded_less(1, 3.0, 2, 1, 3.0, 5));   // full tie: lower index
+  EXPECT_FALSE(crowded_less(1, 3.0, 5, 1, 3.0, 2));
+}
+
+TEST(CrowdedCompareTest, TournamentSelectionIsDeterministicUnderSeed) {
+  // A seeded tournament over a fixed ranking replays identically.
+  const std::vector<size_t> ranks = {0, 1, 0, 2, 1, 0};
+  const std::vector<double> dist = {kInf, 0.5, 1.0, kInf, 0.25, 2.0};
+  const auto run = [&](uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<size_t> pick(0, ranks.size() - 1);
+    std::vector<size_t> winners;
+    for (int i = 0; i < 64; ++i) {
+      const size_t a = pick(rng), b = pick(rng);
+      const size_t w = crowded_less(ranks[a], dist[a], a, ranks[b], dist[b], b) ? a : b;
+      // The sole rank-2 individual can only win a tournament against itself.
+      if (w == 3) {
+        EXPECT_EQ(a, b);
+      }
+      winners.push_back(w);
+    }
+    return winners;
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));  // and the seed actually matters
+}
+
+// -------------------------------------------------------------- constraints
+
+TEST(ConstraintTest, ParsesComparisonsAndImplications) {
+  const SearchSpace s = parse_space(R"({
+    "base": "tiny",
+    "knobs": {
+      "adcs_per_core": [2, 4, 8, 16, 32],
+      "xbars_per_core": [8, 16],
+      "rob_size": [4, 8, 16],
+      "policy": ["perf", "util"]
+    },
+    "constraints": [
+      "adcs_per_core <= xbars_per_core",
+      "policy == util -> rob_size >= 8",
+      "rob_size != 16"
+    ]
+  })");
+  ASSERT_EQ(s.constraints.size(), 3u);
+  EXPECT_TRUE(s.constraints[0].consequent.rhs_is_knob);
+  EXPECT_TRUE(s.constraints[1].antecedent.has_value());
+
+  const auto pt = [](int adcs, int xbars, int rob, const char* pol) {
+    return Point{{"adcs_per_core", json::Value(adcs)},
+                 {"xbars_per_core", json::Value(xbars)},
+                 {"rob_size", json::Value(rob)},
+                 {"policy", json::Value(pol)}};
+  };
+  EXPECT_TRUE(s.satisfies(pt(8, 16, 8, "util")));
+  EXPECT_FALSE(s.satisfies(pt(32, 16, 8, "util")));   // adcs > xbars
+  EXPECT_FALSE(s.satisfies(pt(8, 16, 4, "util")));    // implication violated
+  EXPECT_TRUE(s.satisfies(pt(8, 16, 4, "perf")));     // antecedent false: ok
+  EXPECT_FALSE(s.satisfies(pt(8, 16, 16, "perf")));   // != literal
+}
+
+TEST(ConstraintTest, RejectsAdversarialSpecs) {
+  const auto expect_error = [](const char* text, const char* needle) {
+    try {
+      parse_space(text);
+      FAIL() << "accepted: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  // Unknown knob in a predicate (left side).
+  expect_error(R"({"base": "tiny",
+                   "knobs": {"rob_size": [4, 8]},
+                   "constraints": ["warp_drive <= 4"]})",
+               "unknown knob \"warp_drive\"");
+  // Type mismatch: numeric knob against a string literal.
+  expect_error(R"({"base": "tiny",
+                   "knobs": {"rob_size": [4, 8]},
+                   "constraints": ["rob_size == fast"]})",
+               "type mismatch");
+  // Ordering on a string-valued knob.
+  expect_error(R"({"base": "tiny",
+                   "knobs": {"rob_size": [4], "policy": ["perf", "util"]},
+                   "constraints": ["policy <= util"]})",
+               "type mismatch");
+  // No comparison operator at all.
+  expect_error(R"({"base": "tiny",
+                   "knobs": {"rob_size": [4, 8]},
+                   "constraints": ["rob_size 8"]})",
+               "expected a comparison");
+  // Chained implication.
+  expect_error(R"({"base": "tiny",
+                   "knobs": {"rob_size": [4, 8], "batch": [1, 2]},
+                   "constraints": ["rob_size >= 8 -> batch >= 2 -> rob_size >= 4"]})",
+               "at most one");
+  // Cyclic implication between two knobs.
+  expect_error(R"({"base": "tiny",
+                   "knobs": {"rob_size": [4, 8], "batch": [1, 2]},
+                   "constraints": ["rob_size >= 8 -> batch >= 2",
+                                    "batch >= 2 -> rob_size >= 8"]})",
+               "cyclic implication");
+  // Empty feasible region: no rob_size value satisfies the comparison.
+  expect_error(R"({"base": "tiny",
+                   "knobs": {"rob_size": [4, 8]},
+                   "constraints": ["rob_size <= 2"]})",
+               "empty feasible region");
+  // Empty feasible region via an implication that always fires and never
+  // holds.
+  expect_error(R"({"base": "tiny",
+                   "knobs": {"rob_size": [4, 8]},
+                   "constraints": ["rob_size >= 4 -> rob_size <= 2"]})",
+               "empty feasible region");
+  // Jointly empty region: each constraint is satisfiable alone, but no
+  // point satisfies both.
+  expect_error(R"({"base": "tiny",
+                   "knobs": {"rob_size": [4, 8]},
+                   "constraints": ["rob_size <= 4", "rob_size >= 8"]})",
+               "jointly unsatisfiable");
+  // Constraints must be strings.
+  expect_error(R"({"base": "tiny",
+                   "knobs": {"rob_size": [4, 8]},
+                   "constraints": [42]})",
+               "must be strings");
+}
+
+TEST(ConstraintTest, EverySamplerProposesOnlyFeasiblePoints) {
+  // Without the constraint, 3 of 5 adc values exceed every xbar option half
+  // the time — plenty of infeasible corners for a sampler to stumble into.
+  const SearchSpace s = parse_space(R"({
+    "base": "tiny",
+    "model": "mlp",
+    "input_hw": 8,
+    "knobs": {
+      "adcs_per_core": [2, 4, 8, 16, 32],
+      "xbars_per_core": [8, 16],
+      "rob_size": [4, 8]
+    },
+    "constraints": ["adcs_per_core <= xbars_per_core"]
+  })");
+  const auto fake_evaluate = [](const Point& p) {
+    EvaluatedPoint ep;
+    ep.point = p;
+    ep.label = point_label(p);
+    ep.feasible = ep.ok = true;
+    ep.metrics.latency_ms = 64.0 / p.at("adcs_per_core").as_double();
+    ep.metrics.energy_uj = p.at("adcs_per_core").as_double() + p.at("rob_size").as_double();
+    return ep;
+  };
+  for (const char* kind : {"grid", "random", "evolve", "nsga2"}) {
+    const auto sampler = make_sampler(kind, s, 3);
+    std::vector<EvaluatedPoint> history;
+    for (int round = 0; round < 4; ++round) {
+      const std::vector<Point> proposed = sampler->propose(8, history);
+      for (const Point& p : proposed) {
+        EXPECT_TRUE(s.satisfies(p)) << kind << ": " << point_label(p);
+        // Constraint-feasible points also pass ArchConfig::validate() —
+        // the declarative block matches the hardware rule.
+        EXPECT_TRUE(materialize(s, p).feasible) << kind << ": " << point_label(p);
+        history.push_back(fake_evaluate(p));
+      }
+      if (proposed.empty()) break;
+    }
+    EXPECT_FALSE(history.empty()) << kind;
+    if (std::string(kind) != "grid") {
+      EXPECT_GT(sampler->constraint_skips(), 0u) << kind;
+    }
+  }
+  // Grid enumerates exactly the feasible sub-product: adcs<=8 pairs with
+  // both xbar options, adcs=16 with one — (3*2 + 1*1 + 0) * 2 rob values.
+  const auto grid = make_sampler("grid", s);
+  EXPECT_EQ(grid->propose(SIZE_MAX, {}).size(), 14u);
+  EXPECT_EQ(grid->constraint_skips(), 6u);
+}
+
+TEST(ConstraintTest, ZeroValidateFailuresReachTheEvaluator) {
+  // A seeded sweep of the constrained space: with the declarative block in
+  // place, no validate()-infeasible point may ever reach the evaluator.
+  const SearchSpace s = parse_space(R"({
+    "base": "tiny",
+    "model": "mlp",
+    "input_hw": 8,
+    "knobs": {
+      "adcs_per_core": [2, 4, 8, 16, 32],
+      "xbars_per_core": [8, 16],
+      "rob_size": [4, 8]
+    },
+    "constraints": ["adcs_per_core <= xbars_per_core"]
+  })");
+  ExploreOptions opts;
+  opts.sampler = "random";
+  opts.budget = 14;
+  opts.seed = 5;
+  opts.jobs = 2;
+  const ExploreResult res = explore(s, opts);
+  EXPECT_EQ(res.points.size(), 14u);
+  EXPECT_EQ(res.infeasible_count(), 0u);
+  EXPECT_EQ(res.failed_count(), 0u);
+  EXPECT_GT(res.constraints_skipped, 0u);
+  EXPECT_FALSE(res.frontier.empty());
+}
+
+// -------------------------------------------------------------------- nsga2
+
+TEST(Nsga2SamplerTest, DeterministicUnderSeedAndRespectsGenerationCap) {
+  const SearchSpace s = synthetic_space();
+  const auto run = [&](uint64_t seed, size_t generations) {
+    SamplerOptions opts;
+    opts.seed = seed;
+    opts.population = 8;
+    opts.generations = generations;
+    const auto sampler = make_sampler("nsga2", s, opts);
+    EXPECT_EQ(sampler->generation_size(), 8u);
+    std::vector<EvaluatedPoint> history;
+    std::vector<std::string> keys;
+    for (int round = 0; round < 6; ++round) {
+      const std::vector<Point> proposed = sampler->propose(8, history);
+      if (proposed.empty()) break;
+      for (const Point& p : proposed) {
+        keys.push_back(point_key(p));
+        history.push_back(synthetic_evaluate(s, p));
+      }
+    }
+    return keys;
+  };
+  const std::vector<std::string> a = run(9, 0);
+  EXPECT_EQ(a, run(9, 0));                       // same seed: same sequence
+  EXPECT_NE(a, run(10, 0));                      // seed matters
+  EXPECT_EQ(run(9, 3).size(), 24u);              // 3 generations * population 8
+  // No duplicates ever proposed.
+  std::set<std::string> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), a.size());
+}
+
+TEST(Nsga2SamplerTest, FindsAtLeastAsManyFrontierPointsAsEvolve) {
+  // The acceptance bar from the issue, on the seeded rugged synthetic
+  // space with a fixed evaluation budget: nsga2's crowding-driven global
+  // search must cover the trade-off curve at least as well as the (1+λ)
+  // hill climb, whose single-knob neighbor steps keep landing on the
+  // dominated parity shelves. Everything here is deterministic — both
+  // samplers replay exactly for a given seed — so these comparisons are
+  // stable until sampler behavior itself changes.
+  const SearchSpace s = synthetic_space();
+  const size_t budget = 60;
+  for (const uint64_t seed : {1ull, 2ull, 5ull, 7ull}) {
+    const std::vector<EvaluatedPoint> nsga2 = run_synthetic(s, "nsga2", seed, budget);
+    const std::vector<EvaluatedPoint> evolve = run_synthetic(s, "evolve", seed, budget);
+    ASSERT_EQ(nsga2.size(), budget);
+    ASSERT_EQ(evolve.size(), budget);
+    EXPECT_GE(frontier_size(s, nsga2), frontier_size(s, evolve)) << "seed " << seed;
+  }
+}
+
+TEST(Nsga2SamplerTest, ExploreEndToEndDeterministic) {
+  // Full explore() with real simulations on a tiny space: nsga2 must be
+  // deterministic and productive through the whole pipeline too.
+  const SearchSpace s = parse_space(R"({
+    "name": "nsga2-e2e",
+    "base": "tiny",
+    "model": "mlp",
+    "input_hw": 8,
+    "knobs": {
+      "rob_size": [4, 8],
+      "adcs_per_core": [2, 4],
+      "batch": [1, 2]
+    }
+  })");
+  ExploreOptions opts;
+  opts.sampler = "nsga2";
+  opts.budget = 6;
+  opts.population = 4;
+  opts.seed = 3;
+  opts.jobs = 2;
+  const ExploreResult a = explore(s, opts);
+  const ExploreResult b = explore(s, opts);
+  EXPECT_EQ(a.points.size(), 6u);
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+  EXPECT_FALSE(a.frontier.empty());
+  EXPECT_EQ(a.sampler, "nsga2");
+}
+
+}  // namespace
+}  // namespace pim::dse

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
+#include <iomanip>
 #include <set>
 
 #include "dse/cache.h"
@@ -511,6 +513,84 @@ TEST(ExplorerTest, EndToEndDeterministicWithNonEmptyFrontier) {
   serial.cache_dir.clear();  // force re-simulation
   const ExploreResult rerun = explore(s, serial);
   EXPECT_EQ(cold.to_json().dump(2), rerun.to_json().dump(2));
+}
+
+// ------------------------------------------------------ golden determinism
+
+TEST(ExplorerTest, GoldenSeededExplorationHashPerSampler) {
+  // Each sampler, run twice with the same seed, must produce byte-identical
+  // exploration JSON — and that JSON must match a recorded FNV-1a golden,
+  // the way sim_test pins Kernel::order_fingerprint(). On this toolchain a
+  // mismatch means the determinism contract broke: the same (space,
+  // sampler, seed, budget) no longer replays the same exploration, which
+  // silently invalidates every cached frontier. (The sampler point
+  // sequences are toolchain-portable — see uniform_below in sampler.cpp —
+  // but the JSON also embeds simulated floating-point metrics, so on a
+  // different compiler/arch a golden mismatch may just be last-ulp metric
+  // drift.) If a deliberate sampler/metric change moved the hash,
+  // re-record it here and say so in the commit message.
+  const SearchSpace s = small_space();
+  struct Golden {
+    const char* sampler;
+    uint64_t hash;
+  };
+  const Golden goldens[] = {
+      {"grid", 0xa936ce0ee85b210dull},
+      {"random", 0x9a9918ea715f3c73ull},
+      {"evolve", 0x215e8ab7948df3ddull},
+      {"nsga2", 0xc4ac1adb9792d0d9ull},
+  };
+  for (const Golden& g : goldens) {
+    ExploreOptions opts;
+    opts.sampler = g.sampler;
+    opts.budget = 8;
+    opts.seed = 5;
+    opts.population = 4;
+    opts.jobs = 2;
+    const ExploreResult a = explore(s, opts);
+    const ExploreResult b = explore(s, opts);
+    const std::string dump = a.to_json().dump(2);
+    EXPECT_EQ(dump, b.to_json().dump(2)) << g.sampler;
+    EXPECT_EQ(a.points.size(), 8u) << g.sampler;
+    EXPECT_EQ(fnv1a64(dump), g.hash)
+        << g.sampler << ": exploration JSON drifted (fnv1a64 = 0x" << std::hex
+        << fnv1a64(dump) << ")";
+  }
+}
+
+// --------------------------------------------------------- shared cache dir
+
+TEST(CacheDirTest, ResolutionPrefersFlagThenEnvThenFallback) {
+  unsetenv("PIMDSE_CACHE_DIR");
+  EXPECT_EQ(resolve_cache_dir("flagdir", "fallback"), "flagdir");
+  EXPECT_EQ(resolve_cache_dir("", "fallback"), "fallback");
+  setenv("PIMDSE_CACHE_DIR", "/tmp/pim-shared-cache", 1);
+  EXPECT_EQ(resolve_cache_dir("", "fallback"), "/tmp/pim-shared-cache");
+  EXPECT_EQ(resolve_cache_dir("flagdir", "fallback"), "flagdir");  // flag wins
+  setenv("PIMDSE_CACHE_DIR", "", 1);  // empty env var does not count
+  EXPECT_EQ(resolve_cache_dir("", "fallback"), "fallback");
+  unsetenv("PIMDSE_CACHE_DIR");
+}
+
+TEST(CacheDirTest, TwoRunsPointedAtTheSharedDirGetCacheHits) {
+  const std::string dir = fresh_dir("shared_env");
+  setenv("PIMDSE_CACHE_DIR", dir.c_str(), 1);
+  const std::string resolved = resolve_cache_dir("", "");
+  unsetenv("PIMDSE_CACHE_DIR");
+  ASSERT_EQ(resolved, dir);
+
+  const SearchSpace s = small_space();
+  const std::vector<Point> pts = make_sampler("grid", s)->propose(4, {});
+  Evaluator first(s, 2, resolved);
+  first.evaluate(pts);
+  EXPECT_EQ(first.cache_stats().misses, pts.size());
+  EXPECT_EQ(first.cache_stats().hits, 0u);
+  // A second run (fresh process, in spirit) resolving the same env var
+  // reuses every result.
+  Evaluator second(s, 2, resolved);
+  second.evaluate(pts);
+  EXPECT_EQ(second.cache_stats().hits, pts.size());
+  EXPECT_EQ(second.cache_stats().misses, 0u);
 }
 
 TEST(ExplorerTest, EvolveRunsWithinBudgetDeterministically) {

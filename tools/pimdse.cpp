@@ -1,13 +1,17 @@
 // pimdse — design-space exploration driver.
 //
 // Loads a declarative search space (src/dse/search_space.h), samples it
-// (grid / seeded random / evolutionary hill climb), evaluates each point
-// through the parallel batch runner with a content-hash result cache, and
-// reports the Pareto frontier over {latency, energy, power, area proxy}.
+// (grid / seeded random / evolutionary hill climb / NSGA-II), evaluates
+// each point through the parallel batch runner with a content-hash result
+// cache, and reports the Pareto frontier over {latency, energy, power,
+// area proxy}. Spaces may declare a "constraints" block; constraint-
+// infeasible corners are skipped by the sampler before any simulation.
 //
 //   pimdse --space configs/dse_small.json --sampler grid --jobs 4
 //   pimdse --space configs/dse_paper.json --sampler random --budget 64
 //          --out dse.json --csv dse.csv
+//   pimdse --space configs/dse_paper.json --sampler nsga2 --budget 96
+//          --population 16 --seed 7
 //
 // Output discipline: the report (tables, frontier chart, summary, cache
 // statistics) goes to stdout; per-point progress and host timing go to
@@ -25,10 +29,17 @@ using namespace pim;
 int main(int argc, char** argv) {
   tools::ArgParser args("pimdse", "explore an accelerator design space");
   args.option("--space", "FILE", "", "search-space JSON description (required)");
-  args.option("--sampler", "KIND", "grid", "point sampler: grid|random|evolve");
+  args.option("--sampler", "KIND", "grid", "point sampler: grid|random|evolve|nsga2");
   args.option("--budget", "N", "64", "max points to evaluate");
-  args.option("--seed", "N", "1", "sampler seed (random/evolve)");
+  args.option("--seed", "N", "1", "sampler seed (random/evolve/nsga2)");
+  args.option("--population", "N", "16", "nsga2 generation size");
+  args.option("--generations", "N", "0",
+              "nsga2 generation cap, counting the random seed round "
+              "(0 = until budget)");
   args.option("--jobs", "N", "0", "worker threads (0 = all hardware threads)");
+  args.option("--cache-dir", "DIR", "",
+              "result-cache directory; overrides --cache and the "
+              "PIMDSE_CACHE_DIR environment variable");
   args.option("--cache", "DIR", ".pimdse-cache", "result-cache directory");
   args.option("--cache-cap-mb", "N", "512", "result-cache size cap in MiB (0 = unbounded)");
   args.flag("--no-cache", "disable the result cache");
@@ -51,9 +62,19 @@ int main(int argc, char** argv) {
     opts.sampler = args.get("--sampler");
     opts.budget = static_cast<size_t>(args.get_unsigned("--budget"));
     opts.seed = static_cast<uint64_t>(args.get_unsigned("--seed"));
+    opts.population = static_cast<size_t>(args.get_unsigned("--population"));
+    opts.generations = static_cast<size_t>(args.get_unsigned("--generations"));
     opts.jobs = args.get_unsigned("--jobs");
     if (!args.has("--no-cache")) {
-      opts.cache_dir = args.get("--cache");
+      // Flag beats env var beats default: --cache-dir (or the legacy
+      // --cache) when given, else $PIMDSE_CACHE_DIR, else .pimdse-cache.
+      std::string flag_dir;
+      if (args.has("--cache-dir")) {
+        flag_dir = args.get("--cache-dir");
+      } else if (args.has("--cache")) {
+        flag_dir = args.get("--cache");
+      }
+      opts.cache_dir = dse::resolve_cache_dir(flag_dir, args.get("--cache"));
       opts.cache_max_bytes = static_cast<uint64_t>(args.get_unsigned("--cache-cap-mb")) *
                              1024ull * 1024ull;
     }
