@@ -1,20 +1,23 @@
 // Custom network from a description file — the paper's Fig. 1 workflow
-// exactly: a network description file (JSON here; ONNX in the original) plus
-// an architecture configuration file in, latency/energy/power out.
+// exactly, driven through the pim::workload layer: a network description
+// file (JSON here; ONNX in the original) plus an architecture configuration
+// file in, latency/energy/power out. The network exists *only* as data —
+// nothing here is compiled in — and the loader/exporter pair gives a hard
+// equivalence oracle: load -> export -> reload must be fingerprint-identical.
 //
 // Usage:
 //   custom_network [network.json] [arch.json]
 // With no arguments it writes demo files next to the binary first, so the
 // example is runnable out of the box, then consumes them like user input.
+// The shipped configs/workload_resblock.json is the same network.
 #include <cstdio>
 #include <string>
 
-#include "compiler/compiler.h"
 #include "config/arch_config.h"
 #include "json/json.h"
 #include "nn/executor.h"
-#include "nn/graph.h"
 #include "runtime/simulator.h"
+#include "workload/workload.h"
 
 namespace {
 
@@ -54,23 +57,38 @@ int main(int argc, char** argv) {
     std::printf("wrote %s and %s\n", net_path.c_str(), cfg_path.c_str());
   }
 
-  // --- the Fig. 1 pipeline ---------------------------------------------------
-  nn::Graph net = nn::Graph::from_json(json::parse_file(net_path));
-  net.init_parameters(/*seed=*/42);  // description files carry no weights here
+  // --- the Fig. 1 pipeline, through the workload layer ----------------------
+  // The spec is pure data; build() validates the file and (because the demo
+  // description ships no parameters) seeds weights deterministically.
+  workload::WorkloadSpec spec = workload::WorkloadSpec::graph_file(net_path);
+  spec.weight_seed = 42;
+  workload::BuiltWorkload wl = workload::build(spec, /*init_params=*/true);
   config::ArchConfig cfg = config::ArchConfig::load(cfg_path);
 
-  std::printf("network '%s': %zu layers, %lld MACs\narchitecture '%s': %u cores x %u xbars\n",
-              net.name().c_str(), net.size(), static_cast<long long>(net.total_macs()),
-              cfg.name.c_str(), cfg.core_count, cfg.core.matrix.xbar_count);
+  std::printf("workload '%s': %zu layers, %lld MACs\narchitecture '%s': %u cores x %u xbars\n",
+              wl.graph.name().c_str(), wl.graph.size(),
+              static_cast<long long>(wl.graph.total_macs()), cfg.name.c_str(),
+              cfg.core_count, cfg.core.matrix.xbar_count);
 
-  const nn::Layer& in_layer = net.layer(net.inputs().at(0));
-  nn::Tensor input = nn::random_input(in_layer.out_shape, 1234);
-  runtime::Report report = runtime::simulate_network(net, cfg, {}, &input);
+  // Round-trip oracle: exporting the built graph (parameters included) and
+  // reloading it must reproduce the content fingerprint bit-for-bit — the
+  // same guarantee that lets every zoo model run from a file.
+  const std::string exported = net_path + ".roundtrip.json";
+  workload::export_graph(wl.graph, exported, /*include_params=*/true);
+  const nn::Graph reloaded = workload::load_graph(exported);
+  const bool fp_match =
+      workload::graph_fingerprint(wl.graph) == workload::graph_fingerprint(reloaded);
+  std::printf("export -> reload fingerprint check: %s (%016llx)\n",
+              fp_match ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(workload::graph_fingerprint(reloaded)));
+
+  nn::Tensor input = nn::random_input(wl.input_shape, 1234);
+  runtime::Report report = runtime::simulate_network(wl.graph, cfg, {}, &input);
   std::printf("%s\n", report.summary().c_str());
 
-  nn::Tensor golden = nn::execute_reference_output(net, input);
+  nn::Tensor golden = nn::execute_reference_output(wl.graph, input);
   const bool match = golden.data == report.output;
   std::printf("functional check vs reference executor: %s\n", match ? "PASS" : "FAIL");
-  std::printf("\n%s", report.layer_table(net).c_str());
-  return match && report.finished ? 0 : 1;
+  std::printf("\n%s", report.layer_table(wl.graph).c_str());
+  return match && fp_match && report.finished ? 0 : 1;
 }

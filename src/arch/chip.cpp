@@ -86,7 +86,7 @@ RunStats Chip::run() {
   for (auto& core : cores_) core->start();
 
   sim::Time limit = sim::kTimeMax;
-  if (cfg_.sim.max_time_ms > 0) limit = cfg_.sim.max_time_ms * 1'000'000'000ull;
+  if (cfg_.sim.max_time_ps > 0) limit = cfg_.sim.max_time_ps;
   kernel_.run(limit);
 
   stats_.kernel_events = kernel_.events_executed();

@@ -24,6 +24,15 @@ constexpr T round_up(T a, T b) {
 /// True if v is a power of two (v > 0).
 constexpr bool is_pow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
+/// a * b, saturating at UINT64_MAX instead of wrapping — used wherever
+/// user-visible durations multiply (cycles x period, ms -> ps conversion) so
+/// a huge-but-legal input degrades to "unbounded", never to a tiny wrapped
+/// value.
+constexpr uint64_t saturating_mul_u64(uint64_t a, uint64_t b) {
+  if (a != 0 && b > UINT64_MAX / a) return UINT64_MAX;
+  return a * b;
+}
+
 /// Saturating int8 cast used by the quantized functional model.
 constexpr int8_t saturate_i8(int64_t v) {
   if (v > 127) return 127;

@@ -86,4 +86,19 @@ std::string strformat(const char* fmt, ...) {
   return out;
 }
 
+std::string dirname(std::string_view path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string_view::npos) return ".";
+  return std::string(path.substr(0, slash));
+}
+
+uint64_t fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
 }  // namespace pim

@@ -25,7 +25,17 @@ std::string to_upper(std::string_view text);
 /// Join items with `sep`.
 std::string join(const std::vector<std::string>& items, std::string_view sep);
 
+/// Directory part of a path ("configs/space.json" -> "configs"); "." when
+/// the path has no slash. Used to resolve file references relative to the
+/// file that made them.
+std::string dirname(std::string_view path);
+
 /// printf-style formatting into a std::string.
 std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// FNV-1a 64-bit content hash (stable across platforms and runs) — the
+/// shared fingerprint primitive of the dse result cache and the workload
+/// layer.
+uint64_t fnv1a64(std::string_view data);
 
 }  // namespace pim

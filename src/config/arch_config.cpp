@@ -137,7 +137,7 @@ json::Value ArchConfig::to_json() const {
   v["global_memory"] = std::move(g);
 
   json::Value s;
-  s["max_time_ms"] = json::Value(sim.max_time_ms);
+  s["max_time_ps"] = json::Value(sim.max_time_ps);
   s["functional"] = json::Value(sim.functional);
   s["collect_unit_stats"] = json::Value(sim.collect_unit_stats);
   s["trace_file"] = json::Value(sim.trace_file);
@@ -246,7 +246,15 @@ ArchConfig ArchConfig::from_json(const json::Value& v) {
 
   if (v.contains("sim")) {
     const json::Value& s = v.at("sim");
-    cfg.sim.max_time_ms = static_cast<uint64_t>(s.get_or("max_time_ms", static_cast<int64_t>(cfg.sim.max_time_ms)));
+    // "max_time_ps" is canonical; "max_time_ms" stays a parsed alias for
+    // configs written before the budget went ps-granular. An explicit ps
+    // value wins over the alias.
+    if (s.contains("max_time_ps")) {
+      cfg.sim.max_time_ps = static_cast<uint64_t>(s.at("max_time_ps").as_int());
+    } else if (s.contains("max_time_ms")) {
+      cfg.sim.max_time_ps = saturating_mul_u64(
+          static_cast<uint64_t>(s.at("max_time_ms").as_int()), 1'000'000'000ull);
+    }
     cfg.sim.functional = s.get_or("functional", cfg.sim.functional);
     cfg.sim.collect_unit_stats = s.get_or("collect_unit_stats", cfg.sim.collect_unit_stats);
     cfg.sim.trace_file = s.get_or("trace_file", cfg.sim.trace_file);

@@ -115,7 +115,11 @@ struct GlobalMemoryConfig {
 
 /// Simulator settings (paper Fig. 1 "Simulator Settings").
 struct SimSettings {
-  uint64_t max_time_ms = 0;         ///< 0 = unlimited
+  /// Simulated-time budget in picoseconds; 0 = unlimited. Paper-scale
+  /// points often finish in tens of microseconds, so the budget is
+  /// ps-granular; the JSON schema also accepts the legacy "max_time_ms"
+  /// key as a parsed alias (converted, saturating, to picoseconds).
+  uint64_t max_time_ps = 0;
   bool functional = true;           ///< move/compute real data, not just timing
   bool collect_unit_stats = true;   ///< per-unit busy-time accounting
   std::string trace_file;           ///< optional instruction trace output

@@ -10,20 +10,24 @@
 
 namespace pim::dse {
 
-uint64_t fnv1a64(std::string_view data) {
-  uint64_t h = 0xcbf29ce484222325ull;
-  for (const char c : data) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
+uint64_t fnv1a64(std::string_view data) { return ::pim::fnv1a64(data); }
 
 std::string scenario_key(const runtime::Scenario& s) {
+  return scenario_key(s, s.workload.fingerprint());
+}
+
+std::string scenario_key(const runtime::Scenario& s, uint64_t workload_fingerprint) {
   json::Value v;
   v["arch"] = s.arch.to_json();
-  v["model"] = json::Value(s.model);
-  v["input_hw"] = json::Value(static_cast<int64_t>(s.input_hw));
+  // The workload enters the key through its content fingerprint: for graph
+  // files that hashes the parsed canonical graph, so editing the file is a
+  // guaranteed cache miss while moving or reformatting it is not. No path
+  // or label goes in — the content is the identity, not the location.
+  json::Value w;
+  w["kind"] = json::Value(workload::kind_name(s.workload.kind));
+  w["fingerprint"] = json::Value(strformat(
+      "%016llx", static_cast<unsigned long long>(workload_fingerprint)));
+  v["workload"] = std::move(w);
   v["functional"] = json::Value(s.functional);
   v["input_seed"] = json::Value(s.input_seed);
   json::Value c;

@@ -25,12 +25,21 @@
 
 namespace pim::dse {
 
-/// FNV-1a 64-bit over `data` (stable across platforms and runs).
+/// FNV-1a 64-bit over `data` (stable across platforms and runs); forwards
+/// to the shared pim::fnv1a64 primitive.
 uint64_t fnv1a64(std::string_view data);
 
 /// Canonical cache key of one scenario: compact JSON of everything that
-/// determines the simulation outcome.
+/// determines the simulation outcome. The workload contributes its content
+/// fingerprint (WorkloadSpec::fingerprint), so editing a graph description
+/// file always misses — never serves a stale result — while a moved or
+/// reformatted file still hits. Throws when a graph file cannot be read.
 std::string scenario_key(const runtime::Scenario& s);
+
+/// Same key with the workload fingerprint supplied by the caller — the
+/// evaluator memoizes it across points sharing a workload, so a graph
+/// description file is parsed once per evaluation batch, not once per point.
+std::string scenario_key(const runtime::Scenario& s, uint64_t workload_fingerprint);
 
 /// Shared-cache location resolution used by the tools: `explicit_dir` when
 /// non-empty (a flag the user passed), else $PIMDSE_CACHE_DIR when set and

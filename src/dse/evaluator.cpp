@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/logging.h"
 #include "common/strings.h"
 
 namespace pim::dse {
@@ -35,10 +36,10 @@ double area_proxy_mm2(const config::ArchConfig& cfg) {
   return static_cast<double>(cfg.core_count) * (core_area + router);
 }
 
-void apply_time_budget(runtime::Scenario* scenario, uint64_t max_time_ms) {
-  if (max_time_ms == 0) return;
-  uint64_t& budget = scenario->arch.sim.max_time_ms;
-  budget = budget == 0 ? max_time_ms : std::min(budget, max_time_ms);
+void apply_time_budget(runtime::Scenario* scenario, uint64_t max_time_ps) {
+  if (max_time_ps == 0) return;
+  uint64_t& budget = scenario->arch.sim.max_time_ps;
+  budget = budget == 0 ? max_time_ps : std::min(budget, max_time_ps);
 }
 
 Evaluator::Evaluator(const SearchSpace& space, unsigned jobs, std::string cache_dir)
@@ -48,14 +49,30 @@ Evaluator::Evaluator(const SearchSpace& space, const EvalOptions& opts)
     : space_(space),
       runner_(opts.jobs),
       cache_(opts.cache_dir, opts.cache_max_bytes),
-      max_point_time_ms_(opts.max_point_time_ms) {}
+      max_point_time_ps_(opts.max_point_time_ps) {}
 
 std::vector<EvaluatedPoint> Evaluator::evaluate(const std::vector<Point>& points) {
   std::vector<EvaluatedPoint> out(points.size());
   std::vector<size_t> to_run;        // indices into `out`
   std::vector<runtime::Scenario> scenarios;
   std::vector<std::string> keys;     // parallel to `to_run`
+  std::vector<uint64_t> key_fps;     // workload fingerprint each key was built on
+  std::map<std::string, size_t> pending;           // key -> slot in `to_run`
+  std::vector<std::pair<size_t, size_t>> aliases;  // (out index, to_run slot)
   size_t resolved = 0;
+
+  // Fingerprinting a graph-file workload parses the file; most batches
+  // share one workload (or a handful under a "model" knob), so memoize per
+  // unique spec instead of re-reading the file for every point.
+  std::vector<std::pair<workload::WorkloadSpec, uint64_t>> fp_memo;
+  const auto fingerprint_of = [&fp_memo](const workload::WorkloadSpec& w) {
+    for (const auto& [spec, fp] : fp_memo) {
+      if (spec == w) return fp;
+    }
+    const uint64_t fp = w.fingerprint();
+    fp_memo.emplace_back(w, fp);
+    return fp;
+  };
 
   for (size_t i = 0; i < points.size(); ++i) {
     EvaluatedPoint& ep = out[i];
@@ -71,17 +88,41 @@ std::vector<EvaluatedPoint> Evaluator::evaluate(const std::vector<Point>& points
     }
     // The budget is part of the scenario, hence of the cache key: a capped
     // run and an uncapped run of the same point are different simulations.
-    apply_time_budget(&m.scenario, max_point_time_ms_);
-    const std::string key = scenario_key(m.scenario);
+    apply_time_budget(&m.scenario, max_point_time_ps_);
+    std::string key;
+    uint64_t key_fp = 0;
+    try {
+      // Workload fingerprinting reads graph description files; one that
+      // vanished or broke since the space was loaded degrades to an
+      // infeasible point, not a crashed exploration.
+      key_fp = fingerprint_of(m.scenario.workload);
+      key = scenario_key(m.scenario, key_fp);
+    } catch (const std::exception& e) {
+      ep.feasible = false;
+      ep.error = e.what();
+      if (progress_) progress_(ep, ++resolved, points.size());
+      continue;
+    }
     if (cache_.load(key, &ep)) {
       ep.from_cache = true;
       ++stats_.hits;
       if (progress_) progress_(ep, ++resolved, points.size());
       continue;
     }
+    // Distinct points can share a cache key when a knob cannot affect the
+    // simulation (e.g. an input_hw sweep over a graph-file workload, whose
+    // resolution is fixed by the file). Simulate the first occurrence only
+    // and alias the rest to its result — same outcome, one simulation.
+    if (const auto dup = pending.find(key); dup != pending.end()) {
+      ++stats_.hits;
+      aliases.emplace_back(i, dup->second);
+      continue;  // resolved after the batch completes
+    }
     ++stats_.misses;
+    pending.emplace(key, to_run.size());
     to_run.push_back(i);
     keys.push_back(key);
+    key_fps.push_back(key_fp);
     scenarios.push_back(std::move(m.scenario));
   }
 
@@ -102,8 +143,8 @@ std::vector<EvaluatedPoint> Evaluator::evaluate(const std::vector<Point>& points
         // Report it like an infeasible corner: excluded from the frontier,
         // never silently treated as a valid design.
         ep.feasible = false;
-        ep.error = strformat("timed out: exceeded %llu ms simulated-time budget (or deadlocked)",
-                             static_cast<unsigned long long>(scenarios[j].arch.sim.max_time_ms));
+        ep.error = strformat("timed out: exceeded %llu ps simulated-time budget (or deadlocked)",
+                             static_cast<unsigned long long>(scenarios[j].arch.sim.max_time_ps));
       }
       if (r.ok) {
         ep.metrics.latency_ms = r.report.latency_ms();
@@ -114,11 +155,39 @@ std::vector<EvaluatedPoint> Evaluator::evaluate(const std::vector<Point>& points
         ep.metrics.noc_bytes = r.report.stats.total_bytes_on_noc();
         ep.metrics.total_ps = static_cast<uint64_t>(r.report.stats.total_ps);
       }
-      cache_.store(keys[j], ep);
+      // Guard the store against a description file edited *between* keying
+      // and simulation: the key was built on the old content, but run_one
+      // re-read the file, so persisting would poison the cache — later runs
+      // against the original content would hit wrong metrics. The simulated
+      // result itself is still reported (it is what actually ran); it just
+      // doesn't enter the cache under a key it no longer matches.
+      bool key_still_valid = true;
+      if (scenarios[j].workload.kind == workload::Kind::GraphFile) {
+        try {
+          key_still_valid = scenarios[j].workload.fingerprint() == key_fps[j];
+        } catch (const std::exception&) {
+          key_still_valid = false;  // file vanished mid-run
+        }
+        if (!key_still_valid) {
+          PIM_LOG(Warn) << "dse: workload file " << scenarios[j].workload.path
+                        << " changed during evaluation — result not cached";
+        }
+      }
+      if (key_still_valid) cache_.store(keys[j], ep);
       if (progress_) progress_(ep, ++resolved, points.size());
     });
     runner_.run(scenarios);
     runner_.set_progress(nullptr);
+  }
+  for (const auto& [i, slot] : aliases) {
+    const EvaluatedPoint& src = out[to_run[slot]];
+    EvaluatedPoint& ep = out[i];  // keeps its own point/label
+    ep.feasible = src.feasible;
+    ep.ok = src.ok;
+    ep.error = src.error;
+    ep.metrics = src.metrics;
+    ep.from_cache = true;  // served without a simulation of its own
+    if (progress_) progress_(ep, ++resolved, points.size());
   }
   return out;
 }

@@ -30,15 +30,17 @@ struct EvalOptions {
   unsigned jobs = 0;              ///< BatchRunner jobs; 0 = all hardware threads
   std::string cache_dir;          ///< empty = no result cache
   uint64_t cache_max_bytes = 0;   ///< result-cache size cap; 0 = unbounded
-  /// Per-point simulated-time budget in ms (SimSettings.max_time_ms); 0 = no
-  /// budget. Points that exceed it are reported like infeasible ones, so a
+  /// Per-point simulated-time budget in picoseconds (SimSettings.max_time_ps);
+  /// 0 = no budget. Paper-scale points often finish in tens of microseconds,
+  /// so the budget is ps-granular (pimdse: --max-point-us / --max-point-ms).
+  /// Points that exceed it are reported like infeasible ones, so a
   /// pathological knob corner cannot stall a whole exploration.
-  uint64_t max_point_time_ms = 0;
+  uint64_t max_point_time_ps = 0;
 };
 
-/// Cap `scenario`'s simulated-time budget at `max_time_ms` (no-op when 0;
+/// Cap `scenario`'s simulated-time budget at `max_time_ps` (no-op when 0;
 /// keeps a stricter budget already present on the scenario).
-void apply_time_budget(runtime::Scenario* scenario, uint64_t max_time_ms);
+void apply_time_budget(runtime::Scenario* scenario, uint64_t max_time_ps);
 
 /// Evaluates points through BatchRunner, consulting the result cache first.
 class Evaluator {
@@ -68,7 +70,7 @@ class Evaluator {
   ResultCache cache_;
   CacheStats stats_;
   Progress progress_;
-  uint64_t max_point_time_ms_ = 0;
+  uint64_t max_point_time_ps_ = 0;
 };
 
 }  // namespace pim::dse

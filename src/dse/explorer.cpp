@@ -130,7 +130,7 @@ ExploreResult explore(const SearchSpace& space, const ExploreOptions& opts) {
   eopts.jobs = opts.jobs;
   eopts.cache_dir = opts.cache_dir;
   eopts.cache_max_bytes = opts.cache_max_bytes;
-  eopts.max_point_time_ms = opts.max_point_time_ms;
+  eopts.max_point_time_ps = opts.max_point_time_ps;
   Evaluator evaluator(space, eopts);
   if (opts.progress) evaluator.set_progress(opts.progress);
   res.jobs = evaluator.jobs();

@@ -21,7 +21,7 @@ struct ExploreOptions {
   unsigned jobs = 0;             ///< BatchRunner jobs; 0 = all hardware threads
   std::string cache_dir;         ///< empty = no result cache
   uint64_t cache_max_bytes = 0;  ///< result-cache size cap; 0 = unbounded
-  uint64_t max_point_time_ms = 0;  ///< per-point simulated-time budget; 0 = none
+  uint64_t max_point_time_ps = 0;  ///< per-point simulated-time budget in ps; 0 = none
   Evaluator::Progress progress;  ///< optional per-point callback
 };
 

@@ -8,7 +8,7 @@
 #include <stdexcept>
 
 #include "common/strings.h"
-#include "nn/models.h"
+#include "workload/workload.h"
 
 namespace pim::dse {
 namespace {
@@ -123,12 +123,21 @@ std::vector<json::Value> expand_values(const std::string& name, const json::Valu
 bool apply_structured_knob(const std::string& name, const json::Value& v,
                            config::ArchConfig* cfg, runtime::Scenario* s) {
   if (name == "model") {
-    const std::string m = v.as_string();
-    const std::vector<std::string> zoo = nn::model_names();
-    if (m != "mlp" && std::find(zoo.begin(), zoo.end(), m) == zoo.end()) {
-      fail("knob \"model\": unknown network \"" + m + "\"");
+    // A zoo/registry name, "mlp", or a graph description file. Relative
+    // .json values were already resolved against the space file's directory
+    // at parse time; with_network throws on anything unknown and preserves
+    // the other workload-level knobs regardless of the (alphabetical) order
+    // knobs are applied in.
+    s->workload = s->workload.with_network(v.as_string());
+  } else if (name == "input_hw") {
+    s->workload.input_hw = static_cast<int32_t>(positive_u32(name, v));
+  } else if (name == "weight_seed") {
+    if (!v.is_int() || v.as_int() < 0) {
+      fail("knob \"weight_seed\": values must be integers >= 0, got " + v.dump());
     }
-    s->model = m;
+    s->workload.weight_seed = static_cast<uint64_t>(v.as_int());
+  } else if (name == "num_classes") {
+    s->workload.num_classes = static_cast<int32_t>(positive_u32(name, v));
   } else if (name == "policy") {
     s->copts.policy = parse_policy(v.as_string());
   } else if (name == "batch") {
@@ -138,8 +147,6 @@ bool apply_structured_knob(const std::string& name, const json::Value& v,
   } else if (name == "fuse_relu") {
     if (!v.is_bool()) fail("knob \"fuse_relu\": values must be booleans");
     s->copts.fuse_relu = v.as_bool();
-  } else if (name == "input_hw") {
-    s->input_hw = static_cast<int32_t>(positive_u32(name, v));
   } else if (name == "core_count") {
     cfg->core_count = positive_u32(name, v);
   } else if (name == "mesh") {
@@ -578,12 +585,24 @@ SearchSpace SearchSpace::from_json(const json::Value& v, const std::string& base
     }
   }
 
-  s.model = v.get_or("model", s.model);
-  s.input_hw = static_cast<int32_t>(v.get_or("input_hw", int64_t{s.input_hw}));
   s.functional = v.get_or("functional", s.functional);
   s.input_seed = v.get_or("input_seed", s.input_seed);
-  if (s.input_hw < 1) fail("\"input_hw\" must be >= 1");
-  check_knob_value("model", json::Value(s.model), json::Value());
+  const int64_t hw = v.get_or("input_hw", int64_t{32});
+  if (hw < 1) fail("\"input_hw\" must be >= 1");
+  // "workload" (spec object or token, including graph files) is the
+  // first-class form; "model" + "input_hw" stays as the legacy spelling.
+  if (v.contains("workload")) {
+    if (v.contains("model")) fail("give either \"workload\" or the legacy \"model\", not both");
+    workload::WorkloadSpec defaults;
+    defaults.input_hw = static_cast<int32_t>(hw);
+    s.workload = workload::WorkloadSpec::from_json(v.at("workload"), base_dir, defaults);
+  } else {
+    s.workload = workload::parse_workload_token(v.get_or("model", std::string("tiny_cnn")),
+                                                static_cast<int32_t>(hw), base_dir);
+  }
+  // A broken graph file should fail here, at space load, not after an hour
+  // of exploration — fingerprint() parses and validates it.
+  if (s.workload.kind == workload::Kind::GraphFile) s.workload.fingerprint();
 
   if (!v.contains("knobs") || !v.at("knobs").is_object()) {
     fail("a space needs a \"knobs\" object");
@@ -593,6 +612,20 @@ SearchSpace SearchSpace::from_json(const json::Value& v, const std::string& base
     Knob k;
     k.name = name;
     k.values = expand_values(name, spec);
+    if (name == "model") {
+      // Resolve graph-file values against the space file's directory now and
+      // load-validate them, so materialize never sees a relative path or a
+      // malformed file.
+      for (json::Value& val : k.values) {
+        if (!val.is_string()) fail("knob \"model\": values must be strings, got " + val.dump());
+        if (ends_with(val.as_string(), ".json")) {
+          const workload::WorkloadSpec wl = workload::parse_workload_token(
+              val.as_string(), static_cast<int32_t>(hw), base_dir);
+          wl.fingerprint();  // throws on unreadable/malformed graph files
+          val = json::Value(wl.path);
+        }
+      }
+    }
     for (const json::Value& val : k.values) check_knob_value(name, val, base_json);
     s.knobs.push_back(std::move(k));
   }
@@ -622,9 +655,7 @@ SearchSpace SearchSpace::from_json(const json::Value& v, const std::string& base
 }
 
 SearchSpace SearchSpace::load(const std::string& path) {
-  const size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  return from_json(json::parse_file(path), dir);
+  return from_json(json::parse_file(path), dirname(path));
 }
 
 // ---------------------------------------------------------------- materialize
@@ -632,8 +663,7 @@ SearchSpace SearchSpace::load(const std::string& path) {
 MaterializedPoint materialize(const SearchSpace& space, const Point& p) {
   MaterializedPoint out;
   runtime::Scenario& s = out.scenario;
-  s.model = space.model;
-  s.input_hw = space.input_hw;
+  s.workload = space.workload;
   s.functional = space.functional;
   s.input_seed = space.input_seed;
   s.arch = space.base;

@@ -12,7 +12,9 @@
 //   {
 //     "name": "dse-small",
 //     "base": "tiny",                       // preset, or "base_config": path
-//     "model": "tiny_cnn",                  // default workload
+//     "model": "tiny_cnn",                  // default workload: a zoo name,
+//                                           // "mlp", or a graph file; or use
+//                                           // "workload": {spec object}
 //     "input_hw": 8,
 //     "knobs": {
 //       "rob_size": [4, 8, 16],             // explicit list
@@ -55,6 +57,7 @@
 #include "config/arch_config.h"
 #include "json/json.h"
 #include "runtime/batch_runner.h"
+#include "workload/workload.h"
 
 namespace pim::dse {
 
@@ -156,8 +159,11 @@ struct EvaluatedPoint {
 struct SearchSpace {
   std::string name = "unnamed";
   config::ArchConfig base;
-  std::string model = "tiny_cnn";   ///< workload unless a "model" knob overrides
-  int32_t input_hw = 32;
+  /// Default workload of every point, unless a workload-level knob ("model",
+  /// "input_hw", "weight_seed", "num_classes") overrides it. Parsed from a
+  /// "workload" spec (object or token — including graph description files)
+  /// or the legacy "model" + "input_hw" pair.
+  workload::WorkloadSpec workload;
   bool functional = false;
   uint64_t input_seed = 7;
   std::vector<Knob> knobs;          ///< sorted by name (grid enumeration order)

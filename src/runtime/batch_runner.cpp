@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <thread>
 
@@ -11,7 +12,6 @@
 #include "common/strings.h"
 #include "compiler/mapping.h"
 #include "nn/executor.h"
-#include "nn/models.h"
 
 namespace pim::runtime {
 namespace {
@@ -26,31 +26,15 @@ const char* policy_short(compiler::MappingPolicy p) {
   return p == compiler::MappingPolicy::UtilizationFirst ? "util" : "perf";
 }
 
-/// Build the scenario's network. "mlp" is not in the model zoo proper but
-/// gives sweeps a cheap FC-only workload: 3*hw*hw -> 64 -> 32 -> 10.
-nn::Graph build_graph(const Scenario& s, nn::Shape* input_shape) {
-  if (s.model == "mlp") {
-    const int32_t in_features = 3 * s.input_hw * s.input_hw;
-    *input_shape = {in_features, 1, 1};
-    return nn::build_mlp(in_features, {64, 32}, 10, /*seed=*/1);
-  }
-  nn::ModelOptions mopt;
-  mopt.input_hw = s.input_hw;
-  mopt.init_params = s.functional;
-  *input_shape = {mopt.input_channels, s.input_hw, s.input_hw};
-  return nn::build_model(s.model, mopt);
-}
-
 ScenarioResult run_one(const Scenario& s) {
   ScenarioResult r;
   r.name = s.name.empty() ? s.derive_name() : s.name;
-  r.model = s.model;
+  r.workload = s.workload.label();
   r.policy = policy_short(s.copts.policy);
   r.batch = std::max(1u, s.copts.batch);
   const Clock::time_point start = Clock::now();
   try {
-    nn::Shape input_shape;
-    nn::Graph net = build_graph(s, &input_shape);
+    workload::BuiltWorkload wl = workload::build(s.workload, /*init_params=*/s.functional);
     config::ArchConfig cfg = s.arch;
     cfg.sim.functional = s.functional;
     compiler::CompileOptions copts = s.copts;
@@ -58,13 +42,13 @@ ScenarioResult run_one(const Scenario& s) {
     nn::Tensor input;
     const nn::Tensor* in_ptr = nullptr;
     if (s.functional) {
-      input = nn::random_input(input_shape, s.input_seed);
+      input = nn::random_input(wl.input_shape, s.input_seed);
       in_ptr = &input;
     }
-    r.report = simulate_network(net, cfg, copts, in_ptr);
+    r.report = simulate_network(wl.graph, cfg, copts, in_ptr);
     r.ok = r.report.finished;
     if (!r.ok) {
-      r.timed_out = cfg.sim.max_time_ms > 0;
+      r.timed_out = cfg.sim.max_time_ps > 0;
       r.error = "simulation did not finish (deadlock or time limit)";
     }
   } catch (const std::exception& e) {
@@ -78,7 +62,7 @@ ScenarioResult run_one(const Scenario& s) {
 }  // namespace
 
 std::string Scenario::derive_name() const {
-  std::string n = strformat("%s/%s/b%u", model.c_str(), policy_short(copts.policy),
+  std::string n = strformat("%s/%s/b%u", workload.label().c_str(), policy_short(copts.policy),
                             std::max(1u, copts.batch));
   if (copts.replication > 1) n += strformat("/r%u", copts.replication);
   return n;
@@ -87,7 +71,7 @@ std::string Scenario::derive_name() const {
 json::Value ScenarioResult::to_json() const {
   json::Value v;
   v["name"] = json::Value(name);
-  v["model"] = json::Value(model);
+  v["workload"] = json::Value(workload);
   v["policy"] = json::Value(policy);
   v["batch"] = json::Value(batch);
   v["ok"] = json::Value(ok);
@@ -209,19 +193,17 @@ BatchResult BatchRunner::run(const std::vector<Scenario>& scenarios) const {
   return batch;
 }
 
-std::vector<Scenario> expand_sweep(const std::vector<std::string>& models,
+std::vector<Scenario> expand_sweep(const std::vector<workload::WorkloadSpec>& workloads,
                                    const std::vector<compiler::MappingPolicy>& policies,
                                    const std::vector<uint32_t>& batches,
-                                   const config::ArchConfig& arch, int32_t input_hw,
-                                   bool functional) {
+                                   const config::ArchConfig& arch, bool functional) {
   std::vector<Scenario> out;
-  out.reserve(models.size() * policies.size() * batches.size());
-  for (const std::string& model : models) {
+  out.reserve(workloads.size() * policies.size() * batches.size());
+  for (const workload::WorkloadSpec& wl : workloads) {
     for (compiler::MappingPolicy policy : policies) {
       for (uint32_t batch : batches) {
         Scenario s;
-        s.model = model;
-        s.input_hw = input_hw;
+        s.workload = wl;
         s.arch = arch;
         s.copts.policy = policy;
         s.copts.batch = batch;
@@ -230,6 +212,14 @@ std::vector<Scenario> expand_sweep(const std::vector<std::string>& models,
         out.push_back(std::move(s));
       }
     }
+  }
+  // Two graph files with the same basename derive the same label; suffix
+  // later collisions so every scenario name stays unique (the contract the
+  // summaries and by-name result matching rely on).
+  std::map<std::string, int> seen;
+  for (Scenario& s : out) {
+    const int n = ++seen[s.name];
+    if (n > 1) s.name += strformat("#%d", n);
   }
   return out;
 }

@@ -19,21 +19,22 @@
 #include "config/arch_config.h"
 #include "json/json.h"
 #include "runtime/simulator.h"
+#include "workload/workload.h"
 
 namespace pim::runtime {
 
-/// One independent simulation: a model-zoo network (plus "mlp" for a cheap
-/// FC-only workload), an architecture configuration, and compile options.
+/// One independent simulation: a declarative workload (builtin zoo network,
+/// JSON graph file, or parameterized mlp — see workload::WorkloadSpec), an
+/// architecture configuration, and compile options.
 struct Scenario {
   std::string name;              ///< unique label; derive_name() when empty
-  std::string model;             ///< nn::build_model name, or "mlp"
-  int32_t input_hw = 32;
+  workload::WorkloadSpec workload;  ///< what network runs
   config::ArchConfig arch;
   compiler::CompileOptions copts;
   bool functional = false;       ///< move real data and read back the output
   uint64_t input_seed = 7;       ///< deterministic functional input
 
-  /// "<model>/<policy>/b<batch>[/rN]" — the default scenario label.
+  /// "<workload>/<policy>/b<batch>[/rN]" — the default scenario label.
   std::string derive_name() const;
 };
 
@@ -41,11 +42,11 @@ struct Scenario {
 /// threw; `error` holds the message and `report` is default-constructed.
 struct ScenarioResult {
   std::string name;
-  std::string model;
+  std::string workload;          ///< WorkloadSpec::label() of the scenario
   std::string policy;
   uint32_t batch = 1;
   bool ok = false;
-  /// ok == false because a simulated-time budget (SimSettings.max_time_ms)
+  /// ok == false because a simulated-time budget (SimSettings.max_time_ps)
   /// was active and the simulation stopped before all cores halted
   /// (indistinguishable from a deadlock under a budget).
   bool timed_out = false;
@@ -95,13 +96,14 @@ class BatchRunner {
   Progress progress_;
 };
 
-/// Cross product {models} x {policies} x {batches} -> scenario list, all on
-/// the same architecture and input resolution.
-std::vector<Scenario> expand_sweep(const std::vector<std::string>& models,
+/// Cross product {workloads} x {policies} x {batches} -> scenario list, all
+/// on the same architecture. Workloads carry their own input resolution.
+/// Scenario names are made unique: colliding labels (two graph files with
+/// the same basename) get a "#N" suffix in list order.
+std::vector<Scenario> expand_sweep(const std::vector<workload::WorkloadSpec>& workloads,
                                    const std::vector<compiler::MappingPolicy>& policies,
                                    const std::vector<uint32_t>& batches,
-                                   const config::ArchConfig& arch, int32_t input_hw,
-                                   bool functional = false);
+                                   const config::ArchConfig& arch, bool functional = false);
 
 /// Bit-exact comparison of two runs of the same scenario list (e.g. parallel
 /// vs serial): latency in ps, per-component energy in pJ, instruction count

@@ -46,6 +46,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/math_util.h"
+
 namespace pim::sim {
 
 /// Simulated time in picoseconds.
@@ -455,7 +457,10 @@ class Clock {
   }
 
   Time period_ps() const { return period_ps_; }
-  Time to_ps(uint64_t cycles) const { return cycles * period_ps_; }
+  /// Saturates at kTimeMax: a cycle count large enough to overflow the
+  /// picosecond clock means "beyond the end of simulated time", and a
+  /// wrapped small value would silently reorder the event queue.
+  Time to_ps(uint64_t cycles) const { return saturating_mul_u64(cycles, period_ps_); }
   /// Cycles elapsed at current kernel time (floor).
   uint64_t now_cycles() const { return kernel_->now() / period_ps_; }
 

@@ -442,7 +442,7 @@ TEST(Transfer, MismatchedRecvDeadlocksAndIsReported) {
   p.cores[2].code.push_back(snd);
   push_halt(p, 2);
   config::ArchConfig cfg = tiny_cfg();
-  cfg.sim.max_time_ms = 1;  // 1 ms budget
+  cfg.sim.max_time_ps = 1'000'000'000;  // 1 ms budget
   Chip chip(cfg, p);
   chip.run();
   EXPECT_FALSE(chip.finished());

@@ -6,15 +6,17 @@
 
 #include "config/arch_config.h"
 #include "runtime/batch_runner.h"
+#include "workload/workload.h"
 
 namespace pim {
 namespace {
 
 std::vector<runtime::Scenario> small_sweep(bool functional = true) {
   return runtime::expand_sweep(
-      {"tiny_cnn", "mlp"},
+      {workload::WorkloadSpec::builtin("tiny_cnn", /*input_hw=*/8),
+       workload::WorkloadSpec::mlp(/*input_hw=*/8)},
       {compiler::MappingPolicy::PerformanceFirst, compiler::MappingPolicy::UtilizationFirst},
-      {1, 2}, config::ArchConfig::tiny(), /*input_hw=*/8, functional);
+      {1, 2}, config::ArchConfig::tiny(), functional);
 }
 
 TEST(ExpandSweep, CrossProductWithUniqueNames) {
@@ -59,7 +61,7 @@ TEST(BatchRunner, ParallelIsBitIdenticalToSerial) {
 
 TEST(BatchRunner, FailedScenarioIsCapturedOthersStillRun) {
   std::vector<runtime::Scenario> sweep = small_sweep();
-  sweep[2].model = "no_such_network";
+  sweep[2].workload = workload::WorkloadSpec::builtin("no_such_network", 8);
   runtime::BatchResult res = runtime::BatchRunner(2).run(sweep);
   ASSERT_EQ(res.results.size(), sweep.size());
   EXPECT_FALSE(res.all_ok());

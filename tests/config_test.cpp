@@ -89,6 +89,26 @@ TEST(ArchConfig, JsonRoundTripPreservesEverything) {
   EXPECT_EQ(back.to_json(), cfg.to_json());
 }
 
+TEST(ArchConfig, MaxTimeIsPicosecondGranularWithMsAlias) {
+  // Canonical key.
+  ArchConfig ps = ArchConfig::from_json(json::parse(R"({"sim": {"max_time_ps": 2500}})"));
+  EXPECT_EQ(ps.sim.max_time_ps, 2500u);
+  // Legacy "max_time_ms" parses as an alias, converted to picoseconds...
+  ArchConfig ms = ArchConfig::from_json(json::parse(R"({"sim": {"max_time_ms": 3}})"));
+  EXPECT_EQ(ms.sim.max_time_ps, 3'000'000'000ull);
+  // ...saturating instead of wrapping on absurd budgets...
+  ArchConfig huge = ArchConfig::from_json(
+      json::parse(R"({"sim": {"max_time_ms": 92233720368547758}})"));
+  EXPECT_EQ(huge.sim.max_time_ps, UINT64_MAX);
+  // ...and an explicit ps value wins over the alias.
+  ArchConfig both = ArchConfig::from_json(
+      json::parse(R"({"sim": {"max_time_ps": 7, "max_time_ms": 3}})"));
+  EXPECT_EQ(both.sim.max_time_ps, 7u);
+  // The round-trip stays lossless: to_json writes the canonical key only.
+  EXPECT_EQ(ArchConfig::from_json(ms.to_json()).sim.max_time_ps, ms.sim.max_time_ps);
+  EXPECT_FALSE(ms.to_json().at("sim").contains("max_time_ms"));
+}
+
 TEST(ArchConfig, JsonPartialOverridesKeepDefaults) {
   json::Value v = json::parse(R"({"core_count": 16, "core": {"rob_size": 4}})");
   ArchConfig cfg = ArchConfig::from_json(v);

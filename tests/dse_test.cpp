@@ -127,8 +127,9 @@ TEST(MaterializeTest, AppliesStructuredAndPathKnobs) {
   EXPECT_EQ(m.scenario.arch.core.local_memory.size_bytes, 131072u);
   EXPECT_EQ(m.scenario.copts.policy, compiler::MappingPolicy::UtilizationFirst);
   EXPECT_EQ(m.scenario.copts.batch, 2u);
-  EXPECT_EQ(m.scenario.model, "mlp");
-  EXPECT_EQ(m.scenario.input_hw, 8);
+  EXPECT_EQ(m.scenario.workload.kind, workload::Kind::Mlp);
+  EXPECT_EQ(m.scenario.workload.label(), "mlp");
+  EXPECT_EQ(m.scenario.workload.input_hw, 8);
 }
 
 TEST(MaterializeTest, CoreCountAndMeshCoupling) {
@@ -446,13 +447,13 @@ TEST(TimeBudgetTest, ApplyTimeBudgetSemantics) {
 
   runtime::Scenario sc = m.scenario;
   apply_time_budget(&sc, 0);  // no budget -> untouched
-  EXPECT_EQ(sc.arch.sim.max_time_ms, 0u);
-  apply_time_budget(&sc, 25);  // unset -> takes the exploration cap
-  EXPECT_EQ(sc.arch.sim.max_time_ms, 25u);
-  apply_time_budget(&sc, 100);  // looser cap never relaxes a stricter one
-  EXPECT_EQ(sc.arch.sim.max_time_ms, 25u);
-  apply_time_budget(&sc, 10);  // stricter cap wins
-  EXPECT_EQ(sc.arch.sim.max_time_ms, 10u);
+  EXPECT_EQ(sc.arch.sim.max_time_ps, 0u);
+  apply_time_budget(&sc, 25'000'000);  // unset -> takes the exploration cap (25 us)
+  EXPECT_EQ(sc.arch.sim.max_time_ps, 25'000'000u);
+  apply_time_budget(&sc, 100'000'000);  // looser cap never relaxes a stricter one
+  EXPECT_EQ(sc.arch.sim.max_time_ps, 25'000'000u);
+  apply_time_budget(&sc, 10'000'000);  // stricter cap wins
+  EXPECT_EQ(sc.arch.sim.max_time_ps, 10'000'000u);
 }
 
 TEST(TimeBudgetTest, TimedOutPointsReportedLikeInfeasible) {
@@ -468,7 +469,7 @@ TEST(TimeBudgetTest, TimedOutPointsReportedLikeInfeasible) {
   })"));
   EvalOptions opts;
   opts.jobs = 2;
-  opts.max_point_time_ms = 1;
+  opts.max_point_time_ps = 1'000'000'000;  // 1 ms
   Evaluator ev(s, opts);
   const auto sampler = make_sampler("grid", s);
   const std::vector<EvaluatedPoint> res = ev.evaluate(sampler->propose(SIZE_MAX, {}));

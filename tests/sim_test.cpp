@@ -437,6 +437,23 @@ TEST(Clock, RejectsNonPositiveFrequency) {
   EXPECT_EQ(thz.period_ps(), 1u);
 }
 
+TEST(Clock, ToPsSaturatesInsteadOfWrapping) {
+  // Regression: cycles * period_ps used to wrap on 64-bit overflow, turning
+  // a huge-but-legal cycle count into a *small* delay that silently
+  // reordered the event queue. It must clamp to kTimeMax instead.
+  Kernel k;
+  Clock slow(k, 1.0);  // 1 MHz -> 1'000'000 ps period
+  EXPECT_EQ(slow.period_ps(), 1'000'000u);
+  EXPECT_EQ(slow.to_ps(5), 5'000'000u);                        // exact well below the edge
+  EXPECT_EQ(slow.to_ps(UINT64_MAX), kTimeMax);                 // total overflow
+  EXPECT_EQ(slow.to_ps(UINT64_MAX / 1'000'000 + 1), kTimeMax); // just past the edge
+  EXPECT_EQ(slow.to_ps(UINT64_MAX / 1'000'000),                // largest exact product
+            (UINT64_MAX / 1'000'000) * 1'000'000u);
+  // A 1 ps period never overflows: identity mapping across the full range.
+  Clock thz(k, 5e6);
+  EXPECT_EQ(thz.to_ps(UINT64_MAX), UINT64_MAX);
+}
+
 Process spawner_child(std::vector<int>& log, int id) {
   log.push_back(id);
   co_return;

@@ -1,6 +1,6 @@
 // pimbatch — parallel scenario driver.
 //
-// Fans a sweep of independent simulations (network x mapping policy x batch
+// Fans a sweep of independent simulations (workload x mapping policy x batch
 // size) out across a host thread pool, one sim::Kernel per worker, and emits
 // an aggregate markdown/JSON summary with the measured speedup over a serial
 // run. Per-scenario results are bit-identical regardless of --jobs.
@@ -8,11 +8,19 @@
 //   pimbatch --models tiny_cnn,mlp --policies perf,util --batches 1,2
 //            --arch tiny --input-hw 8 --functional --jobs 4 --verify
 //
+// Workloads are first-class: --models entries may name a zoo network,
+// "mlp", or a JSON graph description file, and --workload FILE appends one
+// more graph file to the sweep — networks that were never compiled in run
+// through the same pipeline (see pimwl for exporting/inspecting files).
+//
+//   pimbatch --workload nets/my_net.json --policies perf --batches 1,2
+//
 //   --jobs 0 (default) uses all hardware threads; --jobs 1 is the serial
 //   reference. --verify reruns the sweep serially and checks bit-identity.
 //   --scenarios loads the sweep spec from JSON instead of the flags:
 //     {"models": [...], "policies": [...], "batches": [...],
-//      "arch": "tiny", "input_hw": 8, "functional": true}
+//      "arch": "tiny", "input_hw": 8, "functional": true,
+//      "workloads": [{"kind": "graph_file", "path": "net.json"}, ...]}
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -21,6 +29,7 @@
 #include "config/arch_config.h"
 #include "json/json.h"
 #include "runtime/batch_runner.h"
+#include "workload/workload.h"
 #include "cli.h"
 
 namespace {
@@ -61,12 +70,41 @@ std::vector<compiler::MappingPolicy> parse_policies(const std::string& csv) {
   return out;
 }
 
+/// Parse --models / --workload tokens into specs (zoo name, "mlp", or a
+/// graph description file), resolving relative file paths against `base_dir`.
+std::vector<workload::WorkloadSpec> parse_workloads(const std::vector<std::string>& tokens,
+                                                    int32_t input_hw,
+                                                    const std::string& base_dir = "") {
+  std::vector<workload::WorkloadSpec> out;
+  out.reserve(tokens.size());
+  for (const std::string& tok : tokens) {
+    out.push_back(workload::parse_workload_token(tok, input_hw, base_dir));
+  }
+  return out;
+}
+
 /// Sweep spec from JSON (see header comment); flags override nothing here —
 /// the file is authoritative when --scenarios is given.
 std::vector<runtime::Scenario> sweep_from_file(const std::string& path) {
   const json::Value spec = json::parse_file(path);
-  std::vector<std::string> models;
-  for (const json::Value& m : spec.at("models").as_array()) models.push_back(m.as_string());
+  const std::string dir = dirname(path);
+  const int32_t input_hw = static_cast<int32_t>(spec.get_or("input_hw", 32));
+
+  std::vector<workload::WorkloadSpec> workloads;
+  if (spec.contains("models")) {
+    for (const json::Value& m : spec.at("models").as_array()) {
+      workloads.push_back(workload::parse_workload_token(m.as_string(), input_hw, dir));
+    }
+  }
+  if (spec.contains("workloads")) {
+    workload::WorkloadSpec defaults;
+    defaults.input_hw = input_hw;
+    for (const json::Value& w : spec.at("workloads").as_array()) {
+      workloads.push_back(workload::WorkloadSpec::from_json(w, dir, defaults));
+    }
+  }
+  if (workloads.empty()) die("sweep spec needs \"models\" and/or \"workloads\"");
+
   std::vector<compiler::MappingPolicy> policies;
   for (const json::Value& p : spec.at("policies").as_array()) {
     policies.push_back(parse_policy(p.as_string()));
@@ -79,8 +117,7 @@ std::vector<runtime::Scenario> sweep_from_file(const std::string& path) {
   config::ArchConfig arch = spec.contains("config")
                                 ? config::ArchConfig::load(spec.at("config").as_string())
                                 : arch_by_name(spec.get_or("arch", "tiny"));
-  return runtime::expand_sweep(models, policies, batches, arch,
-                               static_cast<int32_t>(spec.get_or("input_hw", 32)),
+  return runtime::expand_sweep(workloads, policies, batches, arch,
                                spec.get_or("functional", false));
 }
 
@@ -88,7 +125,9 @@ std::vector<runtime::Scenario> sweep_from_file(const std::string& path) {
 
 int main(int argc, char** argv) {
   tools::ArgParser args("pimbatch", "run a sweep of simulations across a host thread pool");
-  args.option("--models", "LIST", "tiny_cnn,mlp", "comma-separated networks (or \"mlp\")");
+  args.option("--models", "LIST", "tiny_cnn,mlp",
+              "comma-separated workloads: zoo names, \"mlp\", or graph .json files");
+  args.option("--workload", "FILE", "", "append one graph description file to the sweep");
   args.option("--policies", "LIST", "perf,util", "comma-separated mapping policies");
   args.option("--batches", "LIST", "1,2", "comma-separated batch sizes");
   args.option("--arch", "NAME", "tiny", "architecture preset: tiny|paper|mnsim");
@@ -115,10 +154,17 @@ int main(int argc, char** argv) {
       config::ArchConfig arch = !args.get("--config").empty()
                                     ? config::ArchConfig::load(args.get("--config"))
                                     : arch_by_name(args.get("--arch"));
+      const int32_t input_hw = static_cast<int32_t>(args.get_int("--input-hw"));
+      // --workload alone sweeps just that file; the --models default only
+      // applies when no workload was named (or --models was given explicitly).
+      std::vector<std::string> tokens;
+      if (args.has("--models") || args.get("--workload").empty()) {
+        tokens = split(args.get("--models"), ',');
+      }
+      if (!args.get("--workload").empty()) tokens.push_back(args.get("--workload"));
       scenarios = runtime::expand_sweep(
-          split(args.get("--models"), ','), parse_policies(args.get("--policies")),
-          parse_batches(args.get("--batches")), arch,
-          static_cast<int32_t>(args.get_int("--input-hw")), args.has("--functional"));
+          parse_workloads(tokens, input_hw), parse_policies(args.get("--policies")),
+          parse_batches(args.get("--batches")), arch, args.has("--functional"));
       const unsigned repl = args.get_unsigned("--replication");
       if (repl < 1) die("--replication must be >= 1");
       for (runtime::Scenario& s : scenarios) {

@@ -18,10 +18,13 @@
 // stderr. The JSON result file (--out, default dse.json) contains no cache
 // or host-timing information and is byte-identical across runs of the same
 // exploration, cold or warm cache.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
+#include "common/math_util.h"
 #include "dse/explorer.h"
+#include "workload/workload.h"
 #include "cli.h"
 
 using namespace pim;
@@ -29,6 +32,9 @@ using namespace pim;
 int main(int argc, char** argv) {
   tools::ArgParser args("pimdse", "explore an accelerator design space");
   args.option("--space", "FILE", "", "search-space JSON description (required)");
+  args.option("--workload", "NAME|FILE", "",
+              "override the space's workload: a zoo name, \"mlp\", or a "
+              "graph description .json file");
   args.option("--sampler", "KIND", "grid", "point sampler: grid|random|evolve|nsga2");
   args.option("--budget", "N", "64", "max points to evaluate");
   args.option("--seed", "N", "1", "sampler seed (random/evolve/nsga2)");
@@ -46,6 +52,11 @@ int main(int argc, char** argv) {
   args.option("--max-point-ms", "N", "0",
               "per-point simulated-time budget in ms; timed-out points are "
               "reported like infeasible ones (0 = no budget)");
+  args.option("--max-point-us", "N", "0",
+              "per-point simulated-time budget in microseconds — paper-scale "
+              "points finish in tens of us, so this allows far tighter caps "
+              "than --max-point-ms; the stricter of the two wins (0 = no "
+              "budget)");
   args.option("--out", "FILE", "dse.json", "write the full result as JSON");
   args.option("--csv", "FILE", "", "also write every evaluated point as CSV");
   args.flag("--quiet", "suppress per-point progress on stderr");
@@ -56,7 +67,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "pimdse: --space is required (try --help)\n");
       return 2;
     }
-    const dse::SearchSpace space = dse::SearchSpace::load(args.get("--space"));
+    dse::SearchSpace space = dse::SearchSpace::load(args.get("--space"));
+    if (!args.get("--workload").empty()) {
+      // Same tokens and field-preservation semantics as the space's "model"
+      // knob: only the network is swapped; the space's parameterization
+      // carries over.
+      space.workload = space.workload.with_network(args.get("--workload"));
+      if (space.workload.kind == workload::Kind::GraphFile) {
+        space.workload.fingerprint();  // fail on a broken file before exploring
+      }
+    }
 
     dse::ExploreOptions opts;
     opts.sampler = args.get("--sampler");
@@ -78,7 +98,15 @@ int main(int argc, char** argv) {
       opts.cache_max_bytes = static_cast<uint64_t>(args.get_unsigned("--cache-cap-mb")) *
                              1024ull * 1024ull;
     }
-    opts.max_point_time_ms = static_cast<uint64_t>(args.get_unsigned("--max-point-ms"));
+    // Both budget flags land in one ps-granular cap; when both are given the
+    // stricter one wins.
+    const uint64_t ms_ps = saturating_mul_u64(args.get_unsigned("--max-point-ms"),
+                                              1'000'000'000ull);
+    const uint64_t us_ps = saturating_mul_u64(args.get_unsigned("--max-point-us"),
+                                              1'000'000ull);
+    opts.max_point_time_ps = ms_ps == 0   ? us_ps
+                             : us_ps == 0 ? ms_ps
+                                          : std::min(ms_ps, us_ps);
     if (opts.budget == 0) {
       std::fprintf(stderr, "pimdse: --budget must be >= 1\n");
       return 2;

@@ -1,16 +1,28 @@
 // pimsim — the PIMSIM-NN simulator driver.
 //
-// Runs a compiled ISA program (from pimc) on an architecture configuration:
-// the back half of the paper's Fig. 1 workflow. Reports latency, power and
-// energy; optionally dumps the full report as JSON or an instruction trace.
+// Two front ends into the same simulator:
+//
+//   * --program: run a compiled ISA program (from pimc) — the back half of
+//     the paper's Fig. 1 workflow.
+//   * --workload: compile-and-run a declarative workload — a model-zoo name,
+//     "mlp", or a JSON graph description file — so a network that exists
+//     only as a file runs end-to-end without touching pimc.
+//
+// Reports latency, power and energy; optionally dumps the full report as
+// JSON or an instruction trace.
 //
 //   pimsim --program resnet18.prog.json --arch configs/paper_64core.json
-//          [--json] [--trace trace.log]
+//   pimsim --workload configs/workload_resblock.json --arch configs/tiny.json
+//          --functional [--json] [--trace trace.log]
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 
 #include "config/arch_config.h"
 #include "isa/program.h"
+#include "nn/executor.h"
 #include "runtime/simulator.h"
+#include "workload/workload.h"
 #include "tool_common.h"
 
 int main(int argc, char** argv) {
@@ -19,23 +31,59 @@ int main(int argc, char** argv) {
   using tools::has_flag;
 
   const char* prog_path = arg_value(argc, argv, "--program");
+  const char* workload_arg = arg_value(argc, argv, "--workload");
   const char* arch_path = arg_value(argc, argv, "--arch");
-  if (prog_path == nullptr || arch_path == nullptr) {
+  if ((prog_path == nullptr) == (workload_arg == nullptr) || arch_path == nullptr) {
     tools::usage(
         "usage: pimsim --program <prog.json> --arch <arch.json> [--json]\n"
-        "              [--trace trace.log]\n");
+        "              [--trace trace.log]\n"
+        "       pimsim --workload <zoo name | mlp | graph.json> --arch <arch.json>\n"
+        "              [--input-hw N] [--functional] [--json] [--trace trace.log]\n");
   }
   try {
-    isa::Program program = isa::Program::load(prog_path);
     config::ArchConfig cfg = config::ArchConfig::load(arch_path);
     if (const char* trace = arg_value(argc, argv, "--trace")) cfg.sim.trace_file = trace;
 
-    runtime::Report report = runtime::simulate_program(program, cfg);
+    runtime::Report report;
+    if (workload_arg != nullptr) {
+      const char* hw_arg = arg_value(argc, argv, "--input-hw", "32");
+      char* hw_end = nullptr;
+      const long hw = std::strtol(hw_arg, &hw_end, 10);
+      if (*hw_arg == '\0' || *hw_end != '\0' || hw < 1 || hw > INT32_MAX) {
+        std::fprintf(stderr, "pimsim: --input-hw needs a positive integer, got \"%s\"\n",
+                     hw_arg);
+        return 2;
+      }
+      const int32_t input_hw = static_cast<int32_t>(hw);
+      const bool functional = has_flag(argc, argv, "--functional");
+      const workload::WorkloadSpec spec =
+          workload::parse_workload_token(workload_arg, input_hw);
+      const workload::BuiltWorkload wl = workload::build(spec, /*init_params=*/functional);
+      cfg.sim.functional = functional;
+      compiler::CompileOptions copts;
+      copts.include_weights = functional;
+      nn::Tensor input;
+      const nn::Tensor* in_ptr = nullptr;
+      if (functional) {
+        input = nn::random_input(wl.input_shape, /*seed=*/7);
+        in_ptr = &input;
+      }
+      // graph_fingerprint on the already-built graph — spec.fingerprint()
+      // would re-read and re-parse the description file just for this line.
+      std::fprintf(stderr, "pimsim: workload %s (graph fingerprint %016llx), %zu layers\n",
+                   spec.label().c_str(),
+                   static_cast<unsigned long long>(workload::graph_fingerprint(wl.graph)),
+                   wl.graph.size());
+      report = runtime::simulate_network(wl.graph, cfg, copts, in_ptr);
+    } else {
+      isa::Program program = isa::Program::load(prog_path);
+      report = runtime::simulate_program(program, cfg);
+    }
+
     if (has_flag(argc, argv, "--json")) {
       std::printf("%s\n", report.to_json().dump(2).c_str());
     } else {
       std::printf("%s\n", report.summary().c_str());
-      json::Value energy;
       for (size_t c = 0; c < static_cast<size_t>(arch::Component::kCount); ++c) {
         const auto comp = static_cast<arch::Component>(c);
         std::printf("  %-14s %12.3f uJ\n", arch::component_name(comp),

@@ -1,0 +1,111 @@
+// pimwl — workload inspector and zoo exporter.
+//
+// The CLI face of the pim::workload layer: list the registered builtin
+// networks, export any of them (or the mlp synthetic) to a JSON graph
+// description file, validate and summarize a description file, and print
+// the deterministic content fingerprint that keys the pimdse result cache.
+//
+//   pimwl --list
+//   pimwl --export alexnet --input-hw 32 --out alexnet.json
+//   pimwl --export tiny_cnn --input-hw 8 --no-params --out tiny_topo.json
+//   pimwl --show nets/my_net.json
+//   pimwl --fingerprint nets/my_net.json        # also accepts zoo names
+//
+// An exported file (with parameters, the default) reloads bit-identically:
+// simulating it through pimsim/pimbatch/pimdse produces the same Report as
+// the builtin it came from. --fingerprint prints only the 16-hex-digit hash
+// on stdout, so scripts can diff workload identities:
+//
+//   test "$(pimwl --fingerprint a.json)" = "$(pimwl --fingerprint b.json)"
+#include <cstdio>
+#include <string>
+
+#include "common/strings.h"
+#include "workload/workload.h"
+#include "cli.h"
+
+using namespace pim;
+
+namespace {
+
+workload::WorkloadSpec spec_from_token(const tools::ArgParser& args, const std::string& token) {
+  const int32_t input_hw = static_cast<int32_t>(args.get_unsigned("--input-hw"));
+  workload::WorkloadSpec spec = workload::parse_workload_token(token, input_hw);
+  spec.weight_seed = args.get_unsigned("--seed");
+  spec.num_classes = static_cast<int32_t>(args.get_unsigned("--classes"));
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::ArgParser args("pimwl", "list, export, inspect and fingerprint workloads");
+  args.flag("--list", "print the registered builtin workload names");
+  args.option("--export", "NAME", "",
+              "export a builtin (or \"mlp\") as a JSON graph description");
+  args.option("--out", "FILE", "", "output path for --export (required with it)");
+  args.option("--show", "NAME|FILE", "", "validate a workload and print a summary");
+  args.option("--fingerprint", "NAME|FILE", "",
+              "print the 16-hex-digit content fingerprint and exit");
+  args.option("--input-hw", "N", "32", "input resolution for builtin/mlp workloads");
+  args.option("--seed", "N", "1", "weight-initialization seed");
+  args.option("--classes", "N", "10", "classifier width for builtin/mlp workloads");
+  args.flag("--no-params", "export topology only (no weights/bias; reloads "
+                           "re-seed from --seed when run functionally)");
+  args.parse(argc, argv);
+
+  try {
+    if (args.has("--list")) {
+      for (const std::string& name : workload::builtin_names()) std::printf("%s\n", name.c_str());
+      std::printf("mlp\n");  // the parameterized synthetic, always available
+      return 0;
+    }
+
+    if (!args.get("--fingerprint").empty()) {
+      const workload::WorkloadSpec spec = spec_from_token(args, args.get("--fingerprint"));
+      std::printf("%016llx\n", static_cast<unsigned long long>(spec.fingerprint()));
+      return 0;
+    }
+
+    if (!args.get("--export").empty()) {
+      if (args.get("--out").empty()) {
+        std::fprintf(stderr, "pimwl: --export needs --out FILE (try --help)\n");
+        return 2;
+      }
+      const workload::WorkloadSpec spec = spec_from_token(args, args.get("--export"));
+      const bool params = !args.has("--no-params");
+      const workload::BuiltWorkload wl = workload::build(spec, /*init_params=*/params);
+      workload::export_graph(wl.graph, args.get("--out"), params);
+      std::printf("wrote %s: %s, %zu layers, %lld weights%s, graph fingerprint %016llx\n",
+                  args.get("--out").c_str(), wl.graph.name().c_str(), wl.graph.size(),
+                  static_cast<long long>(wl.graph.total_weight_elems()),
+                  params ? "" : " (topology only)",
+                  static_cast<unsigned long long>(workload::graph_fingerprint(wl.graph)));
+      return 0;
+    }
+
+    if (!args.get("--show").empty()) {
+      const workload::WorkloadSpec spec = spec_from_token(args, args.get("--show"));
+      const workload::BuiltWorkload wl = workload::build(spec, /*init_params=*/false);
+      std::printf("workload %s (kind %s)\n", spec.label().c_str(),
+                  workload::kind_name(spec.kind));
+      std::printf("  layers        %zu\n", wl.graph.size());
+      std::printf("  input shape   %dx%dx%d (CHW)\n", wl.input_shape.c, wl.input_shape.h,
+                  wl.input_shape.w);
+      std::printf("  weights       %lld\n",
+                  static_cast<long long>(wl.graph.total_weight_elems()));
+      std::printf("  MACs/infer    %lld\n", static_cast<long long>(wl.graph.total_macs()));
+      std::printf("  fingerprint   %016llx\n",
+                  static_cast<unsigned long long>(spec.fingerprint()));
+      return 0;
+    }
+
+    std::fprintf(stderr,
+                 "pimwl: nothing to do — give --list, --export, --show or "
+                 "--fingerprint (try --help)\n");
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pimwl: %s\n", e.what());
+    return 1;
+  }
+}
