@@ -9,10 +9,28 @@
 //
 // Besides the human-readable table it writes BENCH_throughput.json (path
 // overridable via PIM_BENCH_JSON) with every measured point, so successive
-// PRs have a machine-readable perf trajectory to diff against.
+// PRs have a machine-readable perf trajectory to diff against. Each point
+// carries its compile/simulate host-time split, and a "sim_knob_sweep"
+// section measures the artifact-cache win: a 4-point simulation-knob sweep
+// run once recompiling per point and once through artifact::Store (one
+// compile shared by all points), with the results checked bit-identical.
 #include "bench_common.h"
 
+#include <chrono>
+
+#include "artifact/artifact.h"
 #include "json/json.h"
+#include "workload/workload.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
 
 int main() {
   using namespace pim;
@@ -41,7 +59,12 @@ int main() {
       compiler::CompileOptions copts;
       copts.include_weights = false;
       copts.batch = batches[i];
-      runtime::Report rep = runtime::simulate_network(net, cfg, copts);
+      const Clock::time_point t0 = Clock::now();
+      const runtime::CompiledNetwork compiled = runtime::compile_network(net, cfg, copts);
+      const double compile_ms = ms_since(t0);
+      const Clock::time_point t1 = Clock::now();
+      runtime::Report rep = runtime::simulate_compiled(compiled, cfg);
+      const double simulate_ms = ms_since(t1);
       const double per_image = rep.latency_ms() / batches[i];
       if (i == 0) base_per_image = per_image;
       row.push_back(stats::fmt(per_image));
@@ -56,6 +79,8 @@ int main() {
       m["energy_uj"] = json::Value(rep.energy_uj());
       m["avg_power_mw"] = json::Value(rep.avg_power_mw());
       m["instructions"] = json::Value(rep.stats.total_instructions());
+      m["compile_ms"] = json::Value(compile_ms);
+      m["simulate_ms"] = json::Value(simulate_ms);
       measurements.push_back(std::move(m));
     }
     rows.push_back(row);
@@ -70,6 +95,67 @@ int main() {
   std::printf("expected shape: per-image latency falls with batch size as the layer\n"
               "pipeline stays full, approaching the bottleneck stage's service time.\n");
 
+  // Artifact-cache win on a simulation-knob sweep: ROB size and NoC link
+  // width don't feed the compiler, so all four points share one compile
+  // identity. Each point carries the same simulated-time budget DSE uses
+  // for budgeted evaluation (`sim.max_time_ps`), the regime the cache
+  // targets — many short budgeted simulations per compile. Run the sweep
+  // twice — recompiling per point (the pre-cache path) and through
+  // artifact::Store (compile once, simulate four times) — and require
+  // bit-identical results.
+  const std::string sweep_net = nets.back();
+  const workload::WorkloadSpec sweep_spec =
+      workload::WorkloadSpec::builtin(sweep_net, bench::input_hw());
+  std::vector<config::ArchConfig> sweep_cfgs;
+  for (uint32_t rob : {8u, 32u}) {
+    for (uint32_t link : {32u, 64u}) {
+      config::ArchConfig c = cfg;
+      c.core.rob_size = rob;
+      c.noc.link_bytes_per_cycle = link;
+      c.sim.max_time_ps = 20'000'000;  // 0.02 ms simulated per point
+      sweep_cfgs.push_back(c);
+    }
+  }
+  compiler::CompileOptions sweep_copts;
+  sweep_copts.include_weights = false;
+
+  const nn::Graph sweep_graph = workload::build(sweep_spec, /*init_params=*/false).graph;
+  std::vector<runtime::Report> recompiled;
+  const Clock::time_point ta = Clock::now();
+  for (const config::ArchConfig& c : sweep_cfgs) {
+    recompiled.push_back(runtime::simulate_network(sweep_graph, c, sweep_copts));
+  }
+  const double recompile_ms = ms_since(ta);
+
+  artifact::Store store;
+  std::vector<runtime::Report> cached;
+  const Clock::time_point tb = Clock::now();
+  const artifact::GraphHandle handle = store.graph(sweep_spec, /*init_params=*/false);
+  for (const config::ArchConfig& c : sweep_cfgs) {
+    const auto net = store.program(handle, c, sweep_copts);
+    cached.push_back(runtime::simulate_compiled(*net, c));
+  }
+  const double cached_ms = ms_since(tb);
+
+  bool bit_identical = true;
+  for (size_t i = 0; i < sweep_cfgs.size(); ++i) {
+    if (recompiled[i].stats.total_ps != cached[i].stats.total_ps ||
+        recompiled[i].stats.total_instructions() != cached[i].stats.total_instructions()) {
+      bit_identical = false;
+      std::fprintf(stderr,
+                   "throughput_batch: sim_knob_sweep point %zu differs between the "
+                   "recompile and artifact-cache paths\n",
+                   i);
+    }
+  }
+  const artifact::StoreStats sweep_stats = store.stats();
+  std::printf("\nsim-knob sweep (%s, %zu points): recompile-per-point %.1f ms, "
+              "artifact cache %.1f ms (%.2fx, %zu compile%s); results %s\n",
+              sweep_net.c_str(), sweep_cfgs.size(), recompile_ms, cached_ms,
+              cached_ms > 0 ? recompile_ms / cached_ms : 0.0, sweep_stats.program_misses,
+              sweep_stats.program_misses == 1 ? "" : "s",
+              bit_identical ? "bit-identical" : "MISMATCH");
+
   // Machine-readable trajectory for future PRs to compare against. Written
   // last, and best-effort: an unwritable path must not discard the tables
   // above.
@@ -80,6 +166,15 @@ int main() {
   out["arch"] = json::Value(cfg.name);
   out["input_hw"] = json::Value(static_cast<int64_t>(bench::input_hw()));
   out["measurements"] = json::Value(std::move(measurements));
+  json::Value sweep;
+  sweep["network"] = json::Value(sweep_net);
+  sweep["points"] = json::Value(sweep_cfgs.size());
+  sweep["recompile_ms"] = json::Value(recompile_ms);
+  sweep["cached_ms"] = json::Value(cached_ms);
+  sweep["speedup"] = json::Value(cached_ms > 0 ? recompile_ms / cached_ms : 0.0);
+  sweep["program_compiles"] = json::Value(sweep_stats.program_misses);
+  sweep["bit_identical"] = json::Value(bit_identical);
+  out["sim_knob_sweep"] = std::move(sweep);
   try {
     json::write_file(json_path, out);
     std::printf("wrote %s\n", json_path.c_str());
@@ -87,5 +182,5 @@ int main() {
     std::fprintf(stderr, "throughput_batch: cannot write %s: %s\n", json_path.c_str(),
                  e.what());
   }
-  return 0;
+  return bit_identical ? 0 : 1;
 }

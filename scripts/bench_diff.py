@@ -30,6 +30,11 @@ def flatten(doc):
     total = doc.get("total_events_per_s")
     if total is not None:
         out["TOTAL"] = {"events_per_s": total}
+    sweep = doc.get("sim_knob_sweep")
+    if isinstance(sweep, dict) and sweep.get("speedup") is not None:
+        # Artifact-cache win on the sim-knob sweep (higher is better).
+        out["sim_knob/%s" % sweep.get("network", "?")] = {
+            "cached_speedup": sweep["speedup"]}
     return out
 
 

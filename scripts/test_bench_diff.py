@@ -104,6 +104,18 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(rc, 0)
         self.assertIn("mlp/b2", out)
 
+    def test_sim_knob_sweep_speedup_tracked(self):
+        def doc(speedup):
+            return {"measurements": [],
+                    "sim_knob_sweep": {"network": "squeezenet", "speedup": speedup}}
+        base = self.write("base.json", doc(3.0))
+        cur = self.write("cur.json", doc(1.2))  # -60% > default 20%
+        rc, out = run_diff(base, cur)
+        self.assertEqual(rc, 0)
+        self.assertIn("sim_knob/squeezenet", out)
+        self.assertIn("cached_speedup", out)
+        self.assertIn("::warning", out)
+
 
 if __name__ == "__main__":
     unittest.main()

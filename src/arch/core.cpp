@@ -28,7 +28,11 @@ Core::Core(sim::Kernel& kernel, const config::ArchConfig& cfg, uint16_t id, Chip
       stats_(stats),
       my_stats_(stats.cores.at(id)),
       clock_(kernel, cfg.core.freq_mhz),
-      lm_(cfg.core.local_memory.size_bytes, 0),
+      // Timing-only runs never read or write local-memory contents (every
+      // consumer is gated on sim.functional), so skip the allocation — for
+      // paper-scale chips it is 64 x 4 MB of zeroing per simulation, which
+      // would dominate short budgeted runs.
+      lm_(cfg.sim.functional ? cfg.core.local_memory.size_bytes : 0, 0),
       lm_port_(kernel, 1),
       vector_unit_(kernel, 1),
       transfer_unit_(kernel, 1),
@@ -37,10 +41,12 @@ Core::Core(sim::Kernel& kernel, const config::ArchConfig& cfg, uint16_t id, Chip
       rob_slot_freed_(kernel),
       branch_resolved_(kernel) {
   for (const isa::DataSegment& seg : program.lm_init) {
-    if (seg.addr + seg.bytes.size() > lm_.size()) {
+    if (seg.addr + seg.bytes.size() > cfg.core.local_memory.size_bytes) {
       throw std::invalid_argument(strformat("core %u: lm_init segment out of range", id));
     }
-    std::copy(seg.bytes.begin(), seg.bytes.end(), lm_.begin() + seg.addr);
+    if (cfg.sim.functional) {
+      std::copy(seg.bytes.begin(), seg.bytes.end(), lm_.begin() + seg.addr);
+    }
   }
   uint16_t max_group = 0;
   for (const GroupDef& g : program.groups) max_group = std::max(max_group, g.id);
@@ -471,8 +477,10 @@ sim::Process Core::exec_transfer(RobEntry& e) {
       co_await kernel_.delay(lm_access_ps(bytes));
       lm_port_.release();
       charge_lm(bytes);
-      std::vector<uint8_t> payload(lm_.begin() + in.src1_addr,
-                                   lm_.begin() + in.src1_addr + bytes);
+      std::vector<uint8_t> payload;
+      if (cfg_.sim.functional) {
+        payload.assign(lm_.begin() + in.src1_addr, lm_.begin() + in.src1_addr + bytes);
+      }
 
       // Rendezvous: block until the matching RECV is posted.
       Channel& ch = noc.channel(id_, in.core);
@@ -569,8 +577,10 @@ sim::Process Core::exec_transfer(RobEntry& e) {
       co_await kernel_.delay(lm_access_ps(bytes));
       lm_port_.release();
       charge_lm(bytes);
-      std::vector<uint8_t> payload(lm_.begin() + in.src1_addr,
-                                   lm_.begin() + in.src1_addr + bytes);
+      std::vector<uint8_t> payload;
+      if (cfg_.sim.functional) {
+        payload.assign(lm_.begin() + in.src1_addr, lm_.begin() + in.src1_addr + bytes);
+      }
       const sim::Time wire_start = kernel_.now();
       std::vector<Link*> path = noc.route(id_, Noc::kGlobalMemNode);
       for (Link* l : path) {

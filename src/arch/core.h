@@ -51,7 +51,9 @@ class Core {
   bool halted() const { return halted_; }
   bool started() const { return started_; }
 
-  /// Functional local memory.
+  /// Functional local memory. Empty in timing-only runs (sim.functional ==
+  /// false): contents are never read or written there, so the backing
+  /// store is not allocated.
   std::vector<uint8_t>& lm() { return lm_; }
   const std::vector<uint8_t>& lm() const { return lm_; }
 

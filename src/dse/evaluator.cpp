@@ -43,35 +43,45 @@ void apply_time_budget(runtime::Scenario* scenario, uint64_t max_time_ps) {
 }
 
 Evaluator::Evaluator(const SearchSpace& space, unsigned jobs, std::string cache_dir)
-    : space_(space), runner_(jobs), cache_(std::move(cache_dir)) {}
+    : space_(space),
+      artifacts_(std::make_shared<artifact::Store>()),
+      runner_(jobs),
+      cache_(std::move(cache_dir)) {
+  runner_.set_artifacts(artifacts_);
+}
 
 Evaluator::Evaluator(const SearchSpace& space, const EvalOptions& opts)
     : space_(space),
+      artifacts_(opts.artifacts ? opts.artifacts : std::make_shared<artifact::Store>()),
       runner_(opts.jobs),
       cache_(opts.cache_dir, opts.cache_max_bytes),
-      max_point_time_ps_(opts.max_point_time_ps) {}
+      max_point_time_ps_(opts.max_point_time_ps) {
+  runner_.set_artifacts(artifacts_);
+}
 
 std::vector<EvaluatedPoint> Evaluator::evaluate(const std::vector<Point>& points) {
   std::vector<EvaluatedPoint> out(points.size());
   std::vector<size_t> to_run;        // indices into `out`
   std::vector<runtime::Scenario> scenarios;
   std::vector<std::string> keys;     // parallel to `to_run`
-  std::vector<uint64_t> key_fps;     // workload fingerprint each key was built on
   std::map<std::string, size_t> pending;           // key -> slot in `to_run`
   std::vector<std::pair<size_t, size_t>> aliases;  // (out index, to_run slot)
   size_t resolved = 0;
 
-  // Fingerprinting a graph-file workload parses the file; most batches
-  // share one workload (or a handful under a "model" knob), so memoize per
-  // unique spec instead of re-reading the file for every point.
-  std::vector<std::pair<workload::WorkloadSpec, uint64_t>> fp_memo;
-  const auto fingerprint_of = [&fp_memo](const workload::WorkloadSpec& w) {
-    for (const auto& [spec, fp] : fp_memo) {
-      if (spec == w) return fp;
+  // Resolving a graph-file workload parses the file; most batches share one
+  // workload (or a handful under a "model" knob), so memoize the handle per
+  // unique (spec, init_params) instead of re-reading the file per point. The
+  // handle carries the exact graph its fingerprint was computed on — the
+  // scenario simulates that graph, so the cache key and the simulated
+  // content cannot disagree even if the file is edited mid-batch.
+  std::vector<std::tuple<workload::WorkloadSpec, bool, artifact::GraphHandle>> handle_memo;
+  const auto handle_of = [&](const workload::WorkloadSpec& w, bool init_params) {
+    for (const auto& [spec, init, handle] : handle_memo) {
+      if (init == init_params && spec == w) return handle;
     }
-    const uint64_t fp = w.fingerprint();
-    fp_memo.emplace_back(w, fp);
-    return fp;
+    const artifact::GraphHandle handle = artifacts_->graph(w, init_params);
+    handle_memo.emplace_back(w, init_params, handle);
+    return handle;
   };
 
   for (size_t i = 0; i < points.size(); ++i) {
@@ -90,13 +100,14 @@ std::vector<EvaluatedPoint> Evaluator::evaluate(const std::vector<Point>& points
     // run and an uncapped run of the same point are different simulations.
     apply_time_budget(&m.scenario, max_point_time_ps_);
     std::string key;
-    uint64_t key_fp = 0;
     try {
-      // Workload fingerprinting reads graph description files; one that
+      // Workload resolution reads graph description files; one that
       // vanished or broke since the space was loaded degrades to an
       // infeasible point, not a crashed exploration.
-      key_fp = fingerprint_of(m.scenario.workload);
-      key = scenario_key(m.scenario, key_fp);
+      const artifact::GraphHandle handle = handle_of(m.scenario.workload, m.scenario.functional);
+      key = scenario_key(m.scenario, handle.fingerprint);
+      m.scenario.prebuilt = handle.built;
+      m.scenario.prebuilt_fingerprint = handle.fingerprint;
     } catch (const std::exception& e) {
       ep.feasible = false;
       ep.error = e.what();
@@ -122,7 +133,6 @@ std::vector<EvaluatedPoint> Evaluator::evaluate(const std::vector<Point>& points
     pending.emplace(key, to_run.size());
     to_run.push_back(i);
     keys.push_back(key);
-    key_fps.push_back(key_fp);
     scenarios.push_back(std::move(m.scenario));
   }
 
@@ -155,25 +165,10 @@ std::vector<EvaluatedPoint> Evaluator::evaluate(const std::vector<Point>& points
         ep.metrics.noc_bytes = r.report.stats.total_bytes_on_noc();
         ep.metrics.total_ps = static_cast<uint64_t>(r.report.stats.total_ps);
       }
-      // Guard the store against a description file edited *between* keying
-      // and simulation: the key was built on the old content, but run_one
-      // re-read the file, so persisting would poison the cache — later runs
-      // against the original content would hit wrong metrics. The simulated
-      // result itself is still reported (it is what actually ran); it just
-      // doesn't enter the cache under a key it no longer matches.
-      bool key_still_valid = true;
-      if (scenarios[j].workload.kind == workload::Kind::GraphFile) {
-        try {
-          key_still_valid = scenarios[j].workload.fingerprint() == key_fps[j];
-        } catch (const std::exception&) {
-          key_still_valid = false;  // file vanished mid-run
-        }
-        if (!key_still_valid) {
-          PIM_LOG(Warn) << "dse: workload file " << scenarios[j].workload.path
-                        << " changed during evaluation — result not cached";
-        }
-      }
-      if (key_still_valid) cache_.store(keys[j], ep);
+      // Safe to persist unconditionally: the scenario carried the prebuilt
+      // graph its key was fingerprinted on, so a description file edited
+      // mid-batch cannot make the key and the simulated content disagree.
+      cache_.store(keys[j], ep);
       if (progress_) progress_(ep, ++resolved, points.size());
     });
     runner_.run(scenarios);

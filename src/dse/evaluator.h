@@ -9,9 +9,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "artifact/artifact.h"
 #include "dse/cache.h"
 #include "dse/search_space.h"
 #include "runtime/batch_runner.h"
@@ -36,6 +38,10 @@ struct EvalOptions {
   /// Points that exceed it are reported like infeasible ones, so a
   /// pathological knob corner cannot stall a whole exploration.
   uint64_t max_point_time_ps = 0;
+  /// Artifact store shared with other evaluators/runners; null = the
+  /// evaluator creates a private store (still shared across all of its own
+  /// evaluate() calls and BatchRunner workers).
+  std::shared_ptr<artifact::Store> artifacts;
 };
 
 /// Cap `scenario`'s simulated-time budget at `max_time_ps` (no-op when 0;
@@ -64,8 +70,14 @@ class Evaluator {
   unsigned jobs() const { return runner_.jobs(); }
   const ResultCache& cache() const { return cache_; }
 
+  /// The artifact store this evaluator simulates through (never null).
+  const std::shared_ptr<artifact::Store>& artifacts() const { return artifacts_; }
+  /// Snapshot of the store's cumulative counters (the store may be shared).
+  artifact::StoreStats artifact_stats() const { return artifacts_->stats(); }
+
  private:
   const SearchSpace& space_;
+  std::shared_ptr<artifact::Store> artifacts_;
   runtime::BatchRunner runner_;
   ResultCache cache_;
   CacheStats stats_;

@@ -131,9 +131,11 @@ ExploreResult explore(const SearchSpace& space, const ExploreOptions& opts) {
   eopts.cache_dir = opts.cache_dir;
   eopts.cache_max_bytes = opts.cache_max_bytes;
   eopts.max_point_time_ps = opts.max_point_time_ps;
+  eopts.artifacts = opts.artifacts;
   Evaluator evaluator(space, eopts);
   if (opts.progress) evaluator.set_progress(opts.progress);
   res.jobs = evaluator.jobs();
+  const artifact::StoreStats artifacts_before = evaluator.artifact_stats();
 
   while (res.points.size() < opts.budget) {
     const size_t remaining = opts.budget - res.points.size();
@@ -165,6 +167,7 @@ ExploreResult explore(const SearchSpace& space, const ExploreOptions& opts) {
   });
 
   res.cache = evaluator.cache_stats();
+  res.artifacts = evaluator.artifact_stats() - artifacts_before;
   res.wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                           start)
                     .count();

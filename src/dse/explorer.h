@@ -23,6 +23,8 @@ struct ExploreOptions {
   uint64_t cache_max_bytes = 0;  ///< result-cache size cap; 0 = unbounded
   uint64_t max_point_time_ps = 0;  ///< per-point simulated-time budget in ps; 0 = none
   Evaluator::Progress progress;  ///< optional per-point callback
+  /// Artifact store shared with other explorations; null = private store.
+  std::shared_ptr<artifact::Store> artifacts;
 };
 
 struct ExploreResult {
@@ -37,6 +39,10 @@ struct ExploreResult {
   /// no budget spent. Deterministic for a given (space, sampler, seed).
   size_t constraints_skipped = 0;
   CacheStats cache;
+  /// Artifact-store activity of this exploration (a delta when the store is
+  /// shared): graph/program hits, misses, evictions. Like `cache`, excluded
+  /// from to_json() — it depends on prior store state, not on the space.
+  artifact::StoreStats artifacts;
   unsigned jobs = 1;
   double wall_ms = 0.0;                ///< host wall-clock of the exploration
 

@@ -6,6 +6,7 @@
 #include <random>
 #include <stdexcept>
 
+#include "common/logging.h"
 #include "dse/pareto.h"
 
 namespace pim::dse {
@@ -101,8 +102,20 @@ class GridSampler final : public Sampler {
 
   std::vector<Point> propose(size_t max_points,
                              const std::vector<EvaluatedPoint>&) override {
+    // On a huge grid whose constraints leave a (near-)empty feasible region,
+    // an unbounded walk scans the entire cartesian product inside one
+    // propose() call — billions of candidates before the explorer ever sees
+    // control again. Bound the work per call instead: scan at most
+    // kScanBudget candidates, return what was found (possibly nothing), and
+    // resume from the cursor on the next call. An empty return therefore
+    // still means "exhausted or nothing admissible within the budget" to the
+    // explorer, which stops — after bounded work, with the skip count
+    // reported instead of a silent hang.
+    static constexpr size_t kScanBudget = 64 * 1024;
     std::vector<Point> out;
-    while (!exhausted_ && out.size() < max_points) {
+    size_t scanned = 0;
+    while (!exhausted_ && out.size() < max_points && scanned < kScanBudget) {
+      ++scanned;
       Point p = point_from_indices(space_, cursor_);
       // Odometer increment, last knob fastest.
       size_t k = cursor_.size();
@@ -116,6 +129,12 @@ class GridSampler final : public Sampler {
         cursor_[k] = 0;
       }
       if (admissible(p)) out.push_back(std::move(p));
+    }
+    if (out.empty() && !exhausted_ && scanned >= kScanBudget) {
+      PIM_LOG(Warn) << "grid sampler: no admissible point in " << scanned
+                    << " scanned candidates (" << constraint_skips()
+                    << " constraint-skipped so far) — constraints look jointly "
+                       "unsatisfiable; stopping this exploration";
     }
     return out;
   }

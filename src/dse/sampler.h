@@ -5,7 +5,10 @@
 // and the result cache effective across runs.
 //
 //   grid    exhaustive cartesian product, knobs in name order
-//           (the last knob varies fastest)
+//           (the last knob varies fastest); scans at most 64Ki candidates
+//           per propose() call, so jointly-unsatisfiable constraints on a
+//           huge grid stop the exploration after bounded work (with the
+//           skips counted) instead of walking the whole product
 //   random  seeded uniform sampling without replacement
 //   evolve  (1+λ)-style hill climb: seeds with random points, then mutates
 //           the current Pareto frontier one knob at a time

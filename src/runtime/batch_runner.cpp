@@ -26,7 +26,14 @@ const char* policy_short(compiler::MappingPolicy p) {
   return p == compiler::MappingPolicy::UtilizationFirst ? "util" : "perf";
 }
 
-ScenarioResult run_one(const Scenario& s) {
+/// A scenario's workload resolved (or failed) up front by run()'s prefetch
+/// pass — run_one never touches the filesystem or builds a graph itself.
+struct ResolvedWorkload {
+  artifact::GraphHandle handle;
+  std::string error;  ///< non-empty: the resolve threw; fail the scenario
+};
+
+ScenarioResult run_one(const Scenario& s, const ResolvedWorkload& wl, artifact::Store& store) {
   ScenarioResult r;
   r.name = s.name.empty() ? s.derive_name() : s.name;
   r.workload = s.workload.label();
@@ -34,18 +41,19 @@ ScenarioResult run_one(const Scenario& s) {
   r.batch = std::max(1u, s.copts.batch);
   const Clock::time_point start = Clock::now();
   try {
-    workload::BuiltWorkload wl = workload::build(s.workload, /*init_params=*/s.functional);
+    if (!wl.error.empty()) throw std::runtime_error(wl.error);
     config::ArchConfig cfg = s.arch;
     cfg.sim.functional = s.functional;
     compiler::CompileOptions copts = s.copts;
     copts.include_weights = s.functional;
+    const std::shared_ptr<const CompiledNetwork> net = store.program(wl.handle, cfg, copts);
     nn::Tensor input;
     const nn::Tensor* in_ptr = nullptr;
     if (s.functional) {
-      input = nn::random_input(wl.input_shape, s.input_seed);
+      input = nn::random_input(wl.handle.built->input_shape, s.input_seed);
       in_ptr = &input;
     }
-    r.report = simulate_network(wl.graph, cfg, copts, in_ptr);
+    r.report = simulate_compiled(*net, cfg, in_ptr);
     r.ok = r.report.finished;
     if (!r.ok) {
       r.timed_out = cfg.sim.max_time_ps > 0;
@@ -129,6 +137,7 @@ std::string BatchResult::markdown() const {
       "\n%zu scenarios, %u jobs: %.1f ms wall, %.1f ms aggregate scenario time, "
       "speedup %.2fx vs serial\n",
       results.size(), jobs, wall_ms, serial_ms(), speedup());
+  out += strformat("artifacts: %s\n", artifacts.summary().c_str());
   return out;
 }
 
@@ -139,6 +148,7 @@ json::Value BatchResult::to_json() const {
   v["serial_ms"] = json::Value(serial_ms());
   v["speedup"] = json::Value(speedup());
   v["all_ok"] = json::Value(all_ok());
+  v["artifacts"] = artifacts.to_json();
   json::Array arr;
   arr.reserve(results.size());
   for (const ScenarioResult& r : results) arr.push_back(r.to_json());
@@ -160,6 +170,40 @@ BatchResult BatchRunner::run(const std::vector<Scenario>& scenarios) const {
                                 jobs_, static_cast<unsigned>(std::max<size_t>(1, scenarios.size()))));
   const Clock::time_point start = Clock::now();
 
+  const std::shared_ptr<artifact::Store> store =
+      artifacts_ ? artifacts_ : std::make_shared<artifact::Store>();
+  const artifact::StoreStats before = store->stats();
+
+  // Resolve every workload serially up front: one graph build (and for graph
+  // files, one file read) per unique (workload, init_params) pair, before any
+  // worker starts. Prebuilt scenarios (dse::Evaluator) pass straight through
+  // so the graph their key was fingerprinted on is exactly what runs.
+  std::vector<ResolvedWorkload> resolved(scenarios.size());
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& s = scenarios[i];
+    if (s.prebuilt != nullptr) {
+      resolved[i].handle = {s.prebuilt_fingerprint, s.functional, s.prebuilt};
+      continue;
+    }
+    size_t same = scenarios.size();
+    for (size_t j = 0; j < i; ++j) {
+      if (scenarios[j].prebuilt == nullptr && scenarios[j].functional == s.functional &&
+          scenarios[j].workload == s.workload) {
+        same = j;
+        break;
+      }
+    }
+    if (same < i) {
+      resolved[i] = resolved[same];
+      continue;
+    }
+    try {
+      resolved[i].handle = store->graph(s.workload, /*init_params=*/s.functional);
+    } catch (const std::exception& e) {
+      resolved[i].error = e.what();
+    }
+  }
+
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
   std::mutex progress_mutex;
@@ -168,7 +212,7 @@ BatchResult BatchRunner::run(const std::vector<Scenario>& scenarios) const {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= scenarios.size()) return;
       // Distinct slots: no lock needed for the write itself.
-      batch.results[i] = run_one(scenarios[i]);
+      batch.results[i] = run_one(scenarios[i], resolved[i], *store);
       const size_t completed = done.fetch_add(1, std::memory_order_acq_rel) + 1;
       if (progress_) {
         std::lock_guard<std::mutex> lock(progress_mutex);
@@ -187,9 +231,10 @@ BatchResult BatchRunner::run(const std::vector<Scenario>& scenarios) const {
   }
 
   batch.wall_ms = ms_since(start);
+  batch.artifacts = store->stats() - before;
   PIM_LOG(Info) << "batch: " << scenarios.size() << " scenarios on " << batch.jobs
                 << " jobs in " << batch.wall_ms << " ms (speedup " << batch.speedup()
-                << "x vs serial)";
+                << "x vs serial); artifacts: " << batch.artifacts.summary();
   return batch;
 }
 

@@ -12,9 +12,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "artifact/artifact.h"
 #include "compiler/compiler.h"
 #include "config/arch_config.h"
 #include "json/json.h"
@@ -33,6 +35,14 @@ struct Scenario {
   compiler::CompileOptions copts;
   bool functional = false;       ///< move real data and read back the output
   uint64_t input_seed = 7;       ///< deterministic functional input
+
+  /// Artifact-layer prebuild: when set, run() simulates exactly this graph
+  /// (whose content `prebuilt_fingerprint` names) instead of re-resolving
+  /// `workload` — so a caller that keyed results on the fingerprint is
+  /// guaranteed the keyed content is what runs. dse::Evaluator fills these;
+  /// plain sweeps leave them empty and run() resolves workloads itself.
+  std::shared_ptr<const workload::BuiltWorkload> prebuilt;
+  uint64_t prebuilt_fingerprint = 0;
 
   /// "<workload>/<policy>/b<batch>[/rN]" — the default scenario label.
   std::string derive_name() const;
@@ -62,6 +72,9 @@ struct BatchResult {
   std::vector<ScenarioResult> results;  ///< same order as the input scenarios
   unsigned jobs = 1;
   double wall_ms = 0.0;                 ///< end-to-end host wall-clock
+  /// Artifact-store activity of this run (a delta when the runner shares a
+  /// store across runs): graph/program cache hits, misses, evictions.
+  artifact::StoreStats artifacts;
 
   bool all_ok() const;
   /// Sum of per-scenario wall-clock — what a serial run would cost.
@@ -87,13 +100,22 @@ class BatchRunner {
   using Progress = std::function<void(const ScenarioResult&, size_t, size_t)>;
   void set_progress(Progress cb) { progress_ = std::move(cb); }
 
-  /// Run every scenario, `jobs` at a time. Never throws for per-scenario
-  /// failures — inspect ScenarioResult::ok.
+  /// Share one artifact store across run() calls (and with other runners or
+  /// evaluators). Unset, every run() uses a private store — artifacts are
+  /// still shared across the scenarios and workers of that one run.
+  void set_artifacts(std::shared_ptr<artifact::Store> store) { artifacts_ = std::move(store); }
+
+  /// Run every scenario, `jobs` at a time. Workloads are resolved up front
+  /// (one graph build per unique workload) and programs are compiled once
+  /// per unique (graph, compile-relevant arch, options) key, shared across
+  /// workers. Never throws for per-scenario failures — inspect
+  /// ScenarioResult::ok.
   BatchResult run(const std::vector<Scenario>& scenarios) const;
 
  private:
   unsigned jobs_;
   Progress progress_;
+  std::shared_ptr<artifact::Store> artifacts_;
 };
 
 /// Cross product {workloads} x {policies} x {batches} -> scenario list, all

@@ -88,17 +88,22 @@ Report simulate_program(const isa::Program& program, const config::ArchConfig& c
   return report;
 }
 
-Report simulate_network(const nn::Graph& graph, const config::ArchConfig& cfg,
-                        const compiler::CompileOptions& copts, const nn::Tensor* input) {
-  compiler::CompileReport creport;
-  isa::Program program = compiler::compile(graph, cfg, copts, &creport);
-
-  const uint32_t batch = std::max(1u, copts.batch);
-  size_t output_elems = 0;
-  std::vector<int32_t> outs = graph.outputs();
+CompiledNetwork compile_network(const nn::Graph& graph, const config::ArchConfig& cfg,
+                                const compiler::CompileOptions& copts) {
+  CompiledNetwork net;
+  net.copts = copts;
+  net.program = compiler::compile(graph, cfg, copts, &net.compile);
+  const std::vector<int32_t> outs = graph.outputs();
   if (outs.size() == 1) {
-    output_elems = static_cast<size_t>(graph.layer(outs[0]).out_shape.elems()) * batch;
+    net.output_elems_per_image = static_cast<size_t>(graph.layer(outs[0]).out_shape.elems());
   }
+  return net;
+}
+
+Report simulate_compiled(const CompiledNetwork& net, const config::ArchConfig& cfg,
+                         const nn::Tensor* input) {
+  const uint32_t batch = std::max(1u, net.copts.batch);
+  const size_t output_elems = net.output_elems_per_image * batch;
   // The same input tensor is replicated for every batch position; batched
   // callers wanting distinct images should use simulate_program directly.
   std::vector<int8_t> input_bytes;
@@ -110,10 +115,15 @@ Report simulate_network(const nn::Graph& graph, const config::ArchConfig& cfg,
     }
     in_ptr = &input_bytes;
   }
-  Report report = simulate_program(program, cfg, in_ptr, copts.input_gaddr,
-                                   copts.output_gaddr, output_elems);
-  report.compile = std::move(creport);
+  Report report = simulate_program(net.program, cfg, in_ptr, net.copts.input_gaddr,
+                                   net.copts.output_gaddr, output_elems);
+  report.compile = net.compile;
   return report;
+}
+
+Report simulate_network(const nn::Graph& graph, const config::ArchConfig& cfg,
+                        const compiler::CompileOptions& copts, const nn::Tensor* input) {
+  return simulate_compiled(compile_network(graph, cfg, copts), cfg, input);
 }
 
 }  // namespace pim::runtime

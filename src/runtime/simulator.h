@@ -39,10 +39,34 @@ struct Report {
   json::Value to_json() const;
 };
 
+/// A compiled network: the program plus the compile-time facts the simulate
+/// half needs. Immutable once built — safe to share across threads and to
+/// reuse under any configuration whose compile-relevant fields (see
+/// artifact::compile_relevant_arch) match the one it was compiled for.
+struct CompiledNetwork {
+  isa::Program program;
+  compiler::CompileReport compile;
+  compiler::CompileOptions copts;  ///< options the program was built under
+  /// Output elements of one image (the single output layer's elems); 0 when
+  /// the graph does not have exactly one output and nothing is read back.
+  size_t output_elems_per_image = 0;
+};
+
+/// Front half of simulate_network: compile `graph` under `copts` for `cfg`.
+CompiledNetwork compile_network(const nn::Graph& graph, const config::ArchConfig& cfg,
+                                const compiler::CompileOptions& copts = {});
+
+/// Back half of simulate_network: simulate an already-compiled network on
+/// `cfg`. When `input` is provided it is replicated per batch position and
+/// `report.output` holds the simulated network output.
+Report simulate_compiled(const CompiledNetwork& net, const config::ArchConfig& cfg,
+                         const nn::Tensor* input = nullptr);
+
 /// End-to-end: compile `graph` under `copts`, simulate on `cfg`, return the
 /// report. When `input` is provided the run is functional and
 /// `report.output` holds the simulated network output (bit-comparable to
-/// nn::execute_reference_output).
+/// nn::execute_reference_output). Facade over compile_network +
+/// simulate_compiled.
 Report simulate_network(const nn::Graph& graph, const config::ArchConfig& cfg,
                         const compiler::CompileOptions& copts = {},
                         const nn::Tensor* input = nullptr);

@@ -129,4 +129,13 @@ std::string scatter_chart(const std::string& title, const std::string& x_label,
   return out;
 }
 
+std::string counter_list(const std::vector<std::pair<std::string, uint64_t>>& counters) {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += strformat("%s%s %llu", out.empty() ? "" : ", ", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  return out;
+}
+
 }  // namespace pim::stats

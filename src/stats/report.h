@@ -3,7 +3,9 @@
 // paper-figure series normalized the same way the paper normalizes them.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pim::stats {
@@ -46,6 +48,10 @@ std::string scatter_chart(const std::string& title, const std::string& x_label,
 
 /// Format a double compactly (3 significant decimals).
 std::string fmt(double v);
+
+/// "name 3, other name 12, ..." — compact named-counter rendering used by
+/// the tool summaries (artifact-store hit/miss lines).
+std::string counter_list(const std::vector<std::pair<std::string, uint64_t>>& counters);
 
 /// Geometric mean (values must be > 0).
 double geomean(const std::vector<double>& values);

@@ -185,21 +185,34 @@ WorkloadSpec WorkloadSpec::from_json(const json::Value& v, const std::string& ba
   return s;
 }
 
-uint64_t WorkloadSpec::fingerprint() const {
-  json::Value v = to_json();
-  if (kind == Kind::GraphFile) {
+namespace {
+
+/// The one keying scheme shared by fingerprint() and fingerprint_and_build().
+/// `loaded` is the parsed graph of a GraphFile spec (ignored otherwise).
+uint64_t spec_fingerprint(const WorkloadSpec& spec, const nn::Graph* loaded) {
+  json::Value v = spec.to_json();
+  if (spec.kind == Kind::GraphFile) {
     // Content-addressed, path-independent: hash the parsed canonical graph,
     // so reformatting or moving the file keeps the fingerprint while any
     // semantic edit (layer, geometry, parameter) changes it.
-    const nn::Graph g = load_graph(path);
     v["path"] = json::Value(strformat(
-        "graph:%016llx", static_cast<unsigned long long>(graph_fingerprint(g))));
+        "graph:%016llx", static_cast<unsigned long long>(graph_fingerprint(*loaded))));
     // A parameter-bearing file ignores weight_seed at build time (the
     // shipped weights win); neutralize it so bit-identical simulations
     // share one identity instead of one per seed.
-    if (has_params(g)) v["weight_seed"] = json::Value(uint64_t{0});
+    if (has_params(*loaded)) v["weight_seed"] = json::Value(uint64_t{0});
   }
   return fnv1a64(v.dump());
+}
+
+}  // namespace
+
+uint64_t WorkloadSpec::fingerprint() const {
+  if (kind == Kind::GraphFile) {
+    const nn::Graph g = load_graph(path);
+    return spec_fingerprint(*this, &g);
+  }
+  return spec_fingerprint(*this, nullptr);
 }
 
 WorkloadSpec parse_workload_token(const std::string& token, int32_t input_hw,
@@ -298,6 +311,27 @@ BuiltWorkload build(const WorkloadSpec& spec, bool init_params) {
     }
   }
   fail("corrupt WorkloadSpec kind");
+}
+
+FingerprintedWorkload fingerprint_and_build(const WorkloadSpec& spec, bool init_params) {
+  if (spec.kind != Kind::GraphFile) {
+    // Builtin/Mlp fingerprints are pure functions of the spec — no file, no
+    // race — so the plain build path is already atomic.
+    return {spec_fingerprint(spec, nullptr), build(spec, init_params)};
+  }
+  // One read: fingerprint the file content exactly as parsed, then finish
+  // the build on that same graph. The returned identity can never describe
+  // different bytes than the simulation consumes, even if the file is
+  // rewritten concurrently.
+  nn::Graph g = load_graph(spec.path);
+  FingerprintedWorkload out;
+  out.fingerprint = spec_fingerprint(spec, &g);
+  if (init_params && !has_params(g)) g.init_parameters(spec.weight_seed);
+  const std::vector<int32_t> ins = g.inputs();
+  if (ins.empty()) fail("graph \"" + spec.path + "\" has no input layer");
+  const nn::Shape in_shape = g.layer(ins.front()).out_shape;
+  out.built = {std::move(g), in_shape};
+  return out;
 }
 
 // ----------------------------------------------------------- graph-file I/O

@@ -125,6 +125,22 @@ struct BuiltWorkload {
 /// std::invalid_argument for unknown builtin names or invalid graph files.
 BuiltWorkload build(const WorkloadSpec& spec, bool init_params);
 
+/// A built workload together with the spec fingerprint computed from the
+/// *same* parse: for graph files the description file is read exactly once,
+/// so the fingerprint and the graph it identifies cannot disagree.
+struct FingerprintedWorkload {
+  /// Equals WorkloadSpec::fingerprint() on the same file content.
+  uint64_t fingerprint = 0;
+  BuiltWorkload built;
+};
+
+/// fingerprint() and build() fused over one file read. The fingerprint is
+/// taken on the graph exactly as loaded (before any weight_seed
+/// initialization), matching what fingerprint() returns for the same
+/// content — but here the caller also receives that very graph, closing the
+/// window where the file changes between keying and building.
+FingerprintedWorkload fingerprint_and_build(const WorkloadSpec& spec, bool init_params);
+
 /// Builder registry mapping builtin names to graph constructors. Seeded with
 /// the full model zoo (subsuming nn::model_names()/build_model); clients may
 /// register additional builders at startup, which makes their names valid in

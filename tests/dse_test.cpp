@@ -233,6 +233,58 @@ TEST(SamplerTest, GridEnumeratesTheFullProductExactlyOnce) {
   for (size_t i = 0; i < all.size(); ++i) EXPECT_EQ(point_key(seq[i]), point_key(all[i]));
 }
 
+TEST(SamplerTest, GridBoundsScanOnJointlyUnsatisfiableConstraints) {
+  // A 512x512 grid (too large for the parser's joint-satisfiability check)
+  // whose two constraints are individually satisfiable but jointly empty:
+  // an unbounded odometer walk would scan all 256Ki points inside one
+  // propose() call. The sampler must give up after its 64Ki scan budget,
+  // return empty (which stops the explorer), and account for every skipped
+  // candidate.
+  SearchSpace s;
+  s.base = config::ArchConfig::tiny();
+  Knob a{"noc_link_bytes", {}};
+  Knob b{"rob_size", {}};
+  for (int v = 1; v <= 512; ++v) {
+    a.values.push_back(json::Value(v));
+    b.values.push_back(json::Value(v));
+  }
+  s.knobs = {a, b};  // sorted: noc_link_bytes < rob_size
+  ASSERT_EQ(s.grid_size(), 512u * 512u);
+  s.constraints.push_back(Constraint::parse("rob_size <= 4", s));
+  s.constraints.push_back(Constraint::parse("rob_size >= 8", s));
+
+  const auto sampler = make_sampler("grid", s);
+  const std::vector<Point> out = sampler->propose(4, {});
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(sampler->constraint_skips(), size_t{64} * 1024)
+      << "every scanned candidate must be counted, and only the budgeted amount scanned";
+}
+
+TEST(SamplerTest, GridFindsSparseFeasiblePointsWithinTheScanBudget) {
+  // Same huge grid, but one value in 512 is admissible: the bounded walk
+  // must still surface those needles (they lie within the per-call budget),
+  // not bail early.
+  SearchSpace s;
+  s.base = config::ArchConfig::tiny();
+  Knob a{"noc_link_bytes", {}};
+  Knob b{"rob_size", {}};
+  for (int v = 1; v <= 512; ++v) {
+    a.values.push_back(json::Value(v));
+    b.values.push_back(json::Value(v));
+  }
+  s.knobs = {a, b};
+  s.constraints.push_back(Constraint::parse("rob_size == 512", s));
+
+  const auto sampler = make_sampler("grid", s);
+  const std::vector<Point> out = sampler->propose(4, {});
+  ASSERT_EQ(out.size(), 4u);
+  // rob_size varies fastest: the 4 needles cost 4 * 512 scans, minus hits.
+  EXPECT_EQ(sampler->constraint_skips(), 4u * 512u - 4u);
+  EXPECT_EQ(out[0].at("noc_link_bytes").as_int(), 1);
+  EXPECT_EQ(out[0].at("rob_size").as_int(), 512);
+  EXPECT_EQ(out[3].at("noc_link_bytes").as_int(), 4);
+}
+
 TEST(SamplerTest, RandomIsSeededAndWithoutReplacement) {
   const SearchSpace s = small_space();
   const auto a = make_sampler("random", s, 42);

@@ -504,9 +504,11 @@ TEST(FingerprintTest, EquivalentPointsSimulateOnceWithinABatch) {
 
 TEST(FingerprintTest, FileEditedMidRunIsNotCachedUnderTheStaleKey) {
   // Keys are computed up front, simulations run after — a file edited in
-  // that window would be stored under the old-content key and poison every
-  // later run against the original content. The evaluator rechecks the
-  // fingerprint before each store and drops mismatches instead.
+  // that window must never poison the cache. The evaluator resolves the
+  // graph once while keying and pins it on the scenario, so every point
+  // simulates exactly the content its key names: the edit cannot leak into
+  // the batch at all, and both stored entries stay valid for the original
+  // content.
   const std::string path = temp_path("midrun.json");
   const std::string net_a = R"({
     "name": "midrun",
@@ -536,23 +538,35 @@ TEST(FingerprintTest, FileEditedMidRunIsNotCachedUnderTheStaleKey) {
   const std::vector<dse::Point> pts = dse::make_sampler("grid", space)->propose(SIZE_MAX, {});
   ASSERT_EQ(pts.size(), 2u);
 
-  // jobs=1 serializes the two simulations; editing the file when the first
-  // result lands means the second run_one reads the *edited* content while
-  // its key was built on the original.
+  // Uncached reference on the original content.
+  dse::Evaluator ref(space, 1, "");
+  const std::vector<dse::EvaluatedPoint> want = ref.evaluate(pts);
+  ASSERT_EQ(want.size(), 2u);
+
+  // jobs=1 serializes the two simulations; the file is swapped after the
+  // first result lands, while the second point's key (built on net_a) is
+  // still pending.
   dse::Evaluator ev(space, 1, cache_dir);
   ev.set_progress([&](const dse::EvaluatedPoint&, size_t done, size_t) {
     if (done == 1) write_text_file(path, net_b);
   });
-  ev.evaluate(pts);
+  const std::vector<dse::EvaluatedPoint> hostile = ev.evaluate(pts);
   EXPECT_EQ(ev.cache_stats().misses, 2u);
+  for (size_t i = 0; i < hostile.size(); ++i) {
+    EXPECT_EQ(hostile[i].metrics.to_json().dump(), want[i].metrics.to_json().dump())
+        << "point " << i << " simulated the edited content";
+  }
 
-  // Back on the original content, only the un-poisoned first entry may hit.
+  // Back on the original content, both entries are valid and hit.
   write_text_file(path, net_a);
   dse::Evaluator after(space, 1, cache_dir);
   const std::vector<dse::EvaluatedPoint> res = after.evaluate(pts);
-  EXPECT_EQ(after.cache_stats().hits, 1u);
-  EXPECT_EQ(after.cache_stats().misses, 1u);
-  for (const dse::EvaluatedPoint& p : res) EXPECT_TRUE(p.feasible && p.ok) << p.error;
+  EXPECT_EQ(after.cache_stats().hits, 2u);
+  EXPECT_EQ(after.cache_stats().misses, 0u);
+  for (size_t i = 0; i < res.size(); ++i) {
+    ASSERT_TRUE(res[i].feasible && res[i].ok) << res[i].error;
+    EXPECT_EQ(res[i].metrics.to_json().dump(), want[i].metrics.to_json().dump());
+  }
 }
 
 TEST(FingerprintTest, VanishedFileDegradesToInfeasiblePoint) {

@@ -142,6 +142,7 @@ int main(int argc, char** argv) {
 
     std::printf("cache: %zu hits, %zu misses (%.1f%% hit rate)\n", res.cache.hits,
                 res.cache.misses, 100.0 * res.cache.hit_rate());
+    std::printf("artifacts: %s\n", res.artifacts.summary().c_str());
     // Host timing on stderr: everything above depends only on the
     // exploration, everything below on the machine it ran on.
     std::fprintf(stderr, "explored in %.1f ms on %u jobs\n", res.wall_ms, res.jobs);
