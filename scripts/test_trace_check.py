@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Unit tests for trace_check.py — the trace validator CI depends on.
+
+Covers the contract the workflow assumes: a well-formed trace (metadata,
+sorted lanes, balanced B/E, X with dur, numeric counters) passes; missing
+thread names, backwards timestamps, unbalanced B/E, bad durations and
+unsatisfied --require-span/--require-thread patterns each fail with a
+pointed diagnostic.
+
+Run directly (python3 scripts/test_trace_check.py) or via ctest -R trace_check.
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "trace_check.py")
+
+
+def meta(pid, tid=None, name="chip"):
+    if tid is None:
+        return {"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+                "args": {"name": name}}
+    return {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+            "args": {"name": name}}
+
+
+def good_events():
+    return [
+        meta(1),
+        meta(1, 1, "core0/matrix"),
+        meta(1, 2, "noc/gmem"),
+        {"ph": "X", "pid": 1, "tid": 1, "ts": 0.0, "dur": 2.5, "name": "mvm r1"},
+        {"ph": "B", "pid": 1, "tid": 2, "ts": 1.0, "name": "xfer"},
+        {"ph": "C", "pid": 1, "tid": 2, "ts": 1.5, "name": "queue",
+         "args": {"value": 3}},
+        {"ph": "E", "pid": 1, "tid": 2, "ts": 4.0, "name": "xfer"},
+        {"ph": "i", "pid": 1, "tid": 1, "ts": 5.0, "name": "notify", "s": "t"},
+        {"ph": "X", "pid": 1, "tid": 1, "ts": 6.0, "dur": 0.5, "name": "halt"},
+    ]
+
+
+def run_check(path, *args):
+    proc = subprocess.run(
+        [sys.executable, SCRIPT, path, *args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    return proc.returncode, proc.stdout
+
+
+class TraceCheckTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write(self, events, wrap=True):
+        path = os.path.join(self.dir.name, "trace.json")
+        with open(path, "w") as f:
+            json.dump({"traceEvents": events} if wrap else events, f)
+        return path
+
+    def test_well_formed_trace_passes(self):
+        rc, out = run_check(self.write(good_events()))
+        self.assertEqual(rc, 0, out)
+        self.assertIn("OK", out)
+
+    def test_bare_array_form_accepted(self):
+        rc, out = run_check(self.write(good_events(), wrap=False))
+        self.assertEqual(rc, 0, out)
+
+    def test_backwards_timestamp_fails(self):
+        events = good_events()
+        events.append({"ph": "X", "pid": 1, "tid": 1, "ts": 3.0, "dur": 1.0,
+                       "name": "late"})  # tid 1 already saw ts 6.0
+        rc, out = run_check(self.write(events))
+        self.assertEqual(rc, 1)
+        self.assertIn("goes backwards", out)
+
+    def test_unclosed_begin_fails(self):
+        events = good_events()
+        events.append({"ph": "B", "pid": 1, "tid": 1, "ts": 7.0, "name": "open"})
+        rc, out = run_check(self.write(events))
+        self.assertEqual(rc, 1)
+        self.assertIn("unclosed B", out)
+
+    def test_end_without_begin_fails(self):
+        events = good_events()
+        events.append({"ph": "E", "pid": 1, "tid": 1, "ts": 7.0, "name": "stray"})
+        rc, out = run_check(self.write(events))
+        self.assertEqual(rc, 1)
+        self.assertIn("E without matching B", out)
+
+    def test_missing_thread_name_fails(self):
+        events = good_events()
+        events.append({"ph": "X", "pid": 1, "tid": 9, "ts": 7.0, "dur": 1.0,
+                       "name": "anon"})
+        rc, out = run_check(self.write(events))
+        self.assertEqual(rc, 1)
+        self.assertIn("no thread_name metadata", out)
+
+    def test_bad_dur_and_counter_fail(self):
+        events = good_events()
+        events.append({"ph": "X", "pid": 1, "tid": 1, "ts": 7.0, "dur": -1.0,
+                       "name": "negative"})
+        events.append({"ph": "C", "pid": 1, "tid": 1, "ts": 8.0, "name": "queue",
+                       "args": {"value": "three"}})
+        rc, out = run_check(self.write(events))
+        self.assertEqual(rc, 1)
+        self.assertIn("bad dur", out)
+        self.assertIn("args.value must be numeric", out)
+
+    def test_require_span_and_thread(self):
+        path = self.write(good_events())
+        rc, out = run_check(path, "--require-span", "^mvm", "--require-thread",
+                            r"core\d+/matrix")
+        self.assertEqual(rc, 0, out)
+        rc, out = run_check(path, "--require-span", "conv2d")
+        self.assertEqual(rc, 1)
+        self.assertIn("no span matches", out)
+        rc, out = run_check(path, "--require-thread", "layer/")
+        self.assertEqual(rc, 1)
+        self.assertIn("no thread matches", out)
+
+    def test_unparseable_file_fails(self):
+        path = os.path.join(self.dir.name, "broken.json")
+        with open(path, "w") as f:
+            f.write("{not json")
+        rc, out = run_check(path)
+        self.assertEqual(rc, 1)
+        self.assertIn("cannot load", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace-event JSON file (as written by --trace-out).
+
+Checks the structural contract that chrome://tracing / Perfetto's legacy
+JSON importer relies on, so CI can assert a simulator trace is loadable
+without spinning up a browser:
+
+  * the file parses and is {"traceEvents": [...]} (or a bare array);
+  * every event has a known phase and integer pid/tid;
+  * timestamps are finite, non-negative and non-decreasing per (pid, tid)
+    lane (the sink sorts at dump time — out-of-order events would render
+    as overlapping garbage);
+  * B/E events obey stack discipline per lane and match by name;
+  * X events carry a non-negative dur; C events carry a numeric args.value;
+  * every (pid, tid) that emits events is named by M metadata.
+
+--require-span REGEX (repeatable) additionally asserts at least one
+duration event (B or X) whose name matches; --require-thread REGEX does the
+same for thread names. CI uses these to prove a pimsim trace really
+contains core-instruction, NoC-link and layer-phase spans.
+
+Usage: trace_check.py TRACE.json [--require-span RE]... [--require-thread RE]...
+Exits 0 when the trace passes, 1 with one diagnostic per problem otherwise.
+"""
+import argparse
+import json
+import math
+import re
+import sys
+
+KNOWN_PHASES = {"B", "E", "X", "i", "I", "C", "M"}
+
+
+def load_events(path, problems):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        problems.append("cannot load %s: %s" % (path, e))
+        return []
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            problems.append("root object has no \"traceEvents\" array")
+            return []
+        return events
+    if isinstance(doc, list):  # bare-array form is also catapult-loadable
+        return doc
+    problems.append("root is neither an object nor an array")
+    return []
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool) and math.isfinite(v)
+
+
+def check(events, problems):
+    """Structural validation; appends diagnostics to `problems`.
+
+    Returns ({(pid, tid): thread name}, [duration-event names]).
+    """
+    thread_names = {}
+    span_names = []
+    last_ts = {}    # lane -> last timestamp seen
+    open_spans = {}  # lane -> [names of open B events]
+    lanes_used = set()
+
+    for i, ev in enumerate(events):
+        where = "event %d" % i
+        if not isinstance(ev, dict):
+            problems.append("%s: not an object" % where)
+            continue
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            problems.append("%s: unknown phase %r" % (where, ph))
+            continue
+        pid, tid = ev.get("pid"), ev.get("tid")
+        if not isinstance(pid, int) or not isinstance(tid, int):
+            problems.append("%s (%s): pid/tid must be integers" % (where, ph))
+            continue
+        lane = (pid, tid)
+        name = ev.get("name")
+
+        if ph == "M":
+            if name in ("process_name", "thread_name"):
+                label = ev.get("args", {}).get("name")
+                if not isinstance(label, str) or not label:
+                    problems.append("%s: metadata %s without args.name" % (where, name))
+                elif name == "thread_name":
+                    thread_names[lane] = label
+            continue
+
+        lanes_used.add(lane)
+        ts = ev.get("ts")
+        if not is_num(ts) or ts < 0:
+            problems.append("%s (%s %r): bad ts %r" % (where, ph, name, ts))
+            continue
+        if ts < last_ts.get(lane, 0.0):
+            problems.append("%s (%s %r): ts %.3f goes backwards on pid %d tid %d"
+                            % (where, ph, name, ts, pid, tid))
+        last_ts[lane] = ts
+
+        if ph == "B":
+            open_spans.setdefault(lane, []).append(name)
+            span_names.append(name if isinstance(name, str) else "")
+        elif ph == "E":
+            stack = open_spans.get(lane, [])
+            if not stack:
+                problems.append("%s: E without matching B on pid %d tid %d"
+                                % (where, pid, tid))
+            else:
+                opened = stack.pop()
+                # E may omit the name; when present it must match the open B.
+                if name is not None and opened is not None and name != opened:
+                    problems.append("%s: E %r closes B %r on pid %d tid %d"
+                                    % (where, name, opened, pid, tid))
+        elif ph == "X":
+            dur = ev.get("dur")
+            if not is_num(dur) or dur < 0:
+                problems.append("%s (X %r): bad dur %r" % (where, name, dur))
+            span_names.append(name if isinstance(name, str) else "")
+        elif ph == "C":
+            value = ev.get("args", {}).get("value")
+            if not is_num(value):
+                problems.append("%s (C %r): args.value must be numeric, got %r"
+                                % (where, name, value))
+
+    for lane, stack in open_spans.items():
+        if stack:
+            problems.append("pid %d tid %d: %d unclosed B event(s): %s"
+                            % (lane[0], lane[1], len(stack), ", ".join(map(repr, stack))))
+    for lane in sorted(lanes_used):
+        if lane not in thread_names:
+            problems.append("pid %d tid %d emits events but has no thread_name metadata"
+                            % lane)
+    return thread_names, span_names
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("--require-span", action="append", default=[], metavar="RE",
+                    help="require a duration event whose name matches this regex")
+    ap.add_argument("--require-thread", action="append", default=[], metavar="RE",
+                    help="require a thread whose name matches this regex")
+    args = ap.parse_args()
+
+    problems = []
+    events = load_events(args.trace, problems)
+    thread_names, span_names = check(events, problems)
+
+    for pattern in args.require_span:
+        if not any(re.search(pattern, n) for n in span_names):
+            problems.append("no span matches --require-span %r" % pattern)
+    for pattern in args.require_thread:
+        if not any(re.search(pattern, n) for n in thread_names.values()):
+            problems.append("no thread matches --require-thread %r" % pattern)
+
+    if problems:
+        for p in problems:
+            print("trace_check: %s" % p)
+        print("trace_check: FAIL — %d problem(s) in %s" % (len(problems), args.trace))
+        return 1
+    n_events = sum(1 for e in events if isinstance(e, dict) and e.get("ph") != "M")
+    print("trace_check: OK — %d events on %d threads in %s"
+          % (n_events, len(thread_names), args.trace))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

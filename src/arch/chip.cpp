@@ -1,6 +1,7 @@
 #include "arch/chip.h"
 
 #include <algorithm>
+#include <fstream>
 #include <stdexcept>
 
 #include "common/logging.h"
@@ -15,8 +16,10 @@ namespace {
 constexpr uint64_t kGmemFunctionalCap = 256ull * 1024 * 1024;
 }  // namespace
 
-Chip::Chip(const config::ArchConfig& cfg, const isa::Program& program)
-    : cfg_(cfg),
+Chip::Chip(const config::ArchConfig& cfg, const isa::Program& program,
+           telemetry::TraceSink* trace)
+    : trace_(trace),
+      cfg_(cfg),
       program_(program),
       noc_(kernel_, cfg_, stats_.energy),
       core_clock_(kernel_, cfg_.core.freq_mhz),
@@ -29,11 +32,21 @@ Chip::Chip(const config::ArchConfig& cfg, const isa::Program& program)
     if (errors.size() > 10) msg += strformat("  ... and %zu more\n", errors.size() - 10);
     throw std::invalid_argument(msg);
   }
-  if (!cfg_.sim.trace_file.empty()) {
-    trace_ = std::make_unique<std::ofstream>(cfg_.sim.trace_file, std::ios::trunc);
-    if (!trace_->is_open()) {
+  if (trace_ == nullptr && !cfg_.sim.trace_file.empty()) {
+    // Legacy SimSettings.trace_file alias: own a sink, dump at end of run().
+    // Probe-open now so a bad path fails at construction, like the old raw
+    // ofstream did.
+    std::ofstream probe(cfg_.sim.trace_file, std::ios::trunc);
+    if (!probe.is_open()) {
       throw std::invalid_argument("cannot open trace file '" + cfg_.sim.trace_file + "'");
     }
+    owned_trace_ = std::make_unique<telemetry::TraceSink>();
+    trace_ = owned_trace_.get();
+  }
+  if (trace_ != nullptr) {
+    trace_pid_ = trace_->pid(program.network_name.empty() ? "chip" : program.network_name);
+    kernel_.set_trace(trace_);
+    noc_.attach_trace(*trace_, trace_pid_);
   }
   stats_.cores.resize(cfg_.core_count);
   static const isa::CoreProgram kEmpty;
@@ -98,6 +111,7 @@ RunStats Chip::run() {
   if (!finished()) {
     PIM_LOG(Error) << "simulation ended with unfinished cores (deadlock or time budget)";
   }
+  if (owned_trace_) owned_trace_->write(cfg_.sim.trace_file);
   return stats_;
 }
 

@@ -4,7 +4,6 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <memory>
 #include <span>
 #include <string>
@@ -16,6 +15,7 @@
 #include "config/arch_config.h"
 #include "isa/program.h"
 #include "sim/kernel.h"
+#include "telemetry/telemetry.h"
 
 namespace pim::arch {
 
@@ -23,7 +23,14 @@ class Chip {
  public:
   /// The program must outlive the chip. Throws std::invalid_argument when
   /// the program fails structural verification against `cfg`.
-  Chip(const config::ArchConfig& cfg, const isa::Program& program);
+  ///
+  /// `trace`, when non-null, receives the structural timeline of the run
+  /// (pid = this chip; tids = core units, NoC links, layer phases) and must
+  /// outlive the chip. When null and cfg.sim.trace_file is set (the legacy
+  /// config key), the chip owns a sink and writes that file at the end of
+  /// run() — same JSON pipeline, one config alias.
+  Chip(const config::ArchConfig& cfg, const isa::Program& program,
+       telemetry::TraceSink* trace = nullptr);
   Chip(const Chip&) = delete;
   Chip& operator=(const Chip&) = delete;
 
@@ -55,13 +62,16 @@ class Chip {
   /// Static power of the whole chip in mW (leakage integrated over the run).
   double static_power_mw() const;
 
-  /// Instruction trace sink (nullptr unless cfg.sim.trace_file is set).
-  /// Cores append one line per retired instruction:
-  ///   <issue_ps> <complete_ps> core=<id> <disassembly>
-  std::ostream* trace() { return trace_ ? trace_.get() : nullptr; }
+  /// Trace sink for this run (nullptr when tracing is off). Cores emit one
+  /// complete event per retired instruction on their unit tids.
+  telemetry::TraceSink* trace() { return trace_; }
+  /// Trace process id of this chip (0 when tracing is off).
+  uint32_t trace_pid() const { return trace_pid_; }
 
  private:
-  std::unique_ptr<std::ofstream> trace_;
+  std::unique_ptr<telemetry::TraceSink> owned_trace_;  ///< legacy trace_file alias
+  telemetry::TraceSink* trace_ = nullptr;
+  uint32_t trace_pid_ = 0;
   config::ArchConfig cfg_;
   const isa::Program& program_;
   sim::Kernel kernel_;

@@ -56,6 +56,17 @@ Core::Core(sim::Kernel& kernel, const config::ArchConfig& cfg, uint16_t id, Chip
       group_locks_[g.id] = std::make_unique<sim::Resource>(kernel, 1);
     }
   }
+  if (telemetry::TraceSink* sink = chip.trace()) {
+    trace_ = sink;
+    const uint32_t pid = chip.trace_pid();
+    const std::string prefix = "core" + std::to_string(id);
+    unit_tids_[static_cast<size_t>(InstrClass::Matrix)] = sink->tid(pid, prefix + "/matrix");
+    unit_tids_[static_cast<size_t>(InstrClass::Vector)] = sink->tid(pid, prefix + "/vector");
+    unit_tids_[static_cast<size_t>(InstrClass::Transfer)] =
+        sink->tid(pid, prefix + "/transfer");
+    unit_tids_[static_cast<size_t>(InstrClass::Scalar)] = sink->tid(pid, prefix + "/scalar");
+    dispatch_tid_ = sink->tid(pid, prefix + "/dispatch");
+  }
 }
 
 void Core::start() {
@@ -94,9 +105,16 @@ sim::Process Core::dispatch_proc() {
   while (pc < program_.code.size()) {
     const Instruction& in = program_.code[pc];
     co_await clock_.cycles(cfg_.core.fetch_decode_cycles);
-    while (rob_.size() >= cfg_.core.rob_size) {
-      ++my_stats_.rob_full_stalls;
-      co_await rob_slot_freed_;
+    if (rob_.size() >= cfg_.core.rob_size) {
+      const sim::Time stall_start = kernel_.now();
+      while (rob_.size() >= cfg_.core.rob_size) {
+        ++my_stats_.rob_full_stalls;
+        co_await rob_slot_freed_;
+      }
+      if (dispatch_tid_ != 0) {
+        trace_->complete(dispatch_tid_, "rob_full", stall_start,
+                         kernel_.now() - stall_start);
+      }
     }
     RobEntry entry;
     entry.instr = &in;
@@ -261,9 +279,9 @@ void Core::scan() {
 void Core::complete(RobEntry& e) {
   e.state = RobEntry::State::Done;
   const sim::Time dur = kernel_.now() - e.issue_ps;
-  if (std::ostream* trace = chip_.trace()) {
-    *trace << e.issue_ps << ' ' << kernel_.now() << " core=" << id_ << ' '
-           << isa::to_string(*e.instr) << '\n';
+  if (trace_ != nullptr) {
+    trace_->complete(unit_tids_[static_cast<size_t>(e.instr->cls())],
+                     isa::to_string(*e.instr), e.issue_ps, dur);
   }
   UnitStats* unit = nullptr;
   switch (e.instr->cls()) {
@@ -501,9 +519,13 @@ sim::Process Core::exec_transfer(RobEntry& e) {
       std::vector<Link*> path = noc.route(id_, in.core);
       for (Link* l : path) {
         co_await l->busy.acquire();
+        const sim::Time link_start = kernel_.now();
         co_await kernel_.delay(noc.hop_ps() + noc.serialization_ps(bytes));
         l->bytes_carried += bytes;
         ++l->messages;
+        if (l->trace_tid != 0) {
+          trace_->complete(l->trace_tid, "xfer", link_start, kernel_.now() - link_start);
+        }
         l->busy.release();
       }
       noc.charge(bytes, path.size());
@@ -550,9 +572,13 @@ sim::Process Core::exec_transfer(RobEntry& e) {
       const sim::Time wire_start = kernel_.now();
       for (Link* l : path) {
         co_await l->busy.acquire();
+        const sim::Time link_start = kernel_.now();
         co_await kernel_.delay(noc.hop_ps() + noc.serialization_ps(bytes));
         l->bytes_carried += bytes;
         ++l->messages;
+        if (l->trace_tid != 0) {
+          trace_->complete(l->trace_tid, "xfer", link_start, kernel_.now() - link_start);
+        }
         l->busy.release();
       }
       noc.charge(bytes, path.size());
@@ -585,9 +611,13 @@ sim::Process Core::exec_transfer(RobEntry& e) {
       std::vector<Link*> path = noc.route(id_, Noc::kGlobalMemNode);
       for (Link* l : path) {
         co_await l->busy.acquire();
+        const sim::Time link_start = kernel_.now();
         co_await kernel_.delay(noc.hop_ps() + noc.serialization_ps(bytes));
         l->bytes_carried += bytes;
         ++l->messages;
+        if (l->trace_tid != 0) {
+          trace_->complete(l->trace_tid, "xfer", link_start, kernel_.now() - link_start);
+        }
         l->busy.release();
       }
       noc.charge(bytes, path.size());

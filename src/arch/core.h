@@ -114,6 +114,11 @@ class Core {
   const config::ArchConfig& cfg_;
   const uint16_t id_;
   Chip& chip_;
+  // Tracing (owned by the tool / Chip; null = off). unit_tids_ is indexed by
+  // InstrClass; dispatch_tid_ carries ROB-full stall spans.
+  telemetry::TraceSink* trace_ = nullptr;
+  std::array<uint32_t, 4> unit_tids_{};
+  uint32_t dispatch_tid_ = 0;
   const isa::CoreProgram& program_;
   RunStats& stats_;
   CoreStats& my_stats_;

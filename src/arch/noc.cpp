@@ -1,6 +1,9 @@
 #include "arch/noc.h"
 
 #include <stdexcept>
+#include <string>
+
+#include "telemetry/telemetry.h"
 
 namespace pim::arch {
 
@@ -72,6 +75,21 @@ uint32_t Noc::hop_count(uint16_t from, uint16_t to) const {
   auto [tx, ty] = coord(to);
   uint32_t extra = (from == kGlobalMemNode ? 1u : 0u) + (to == kGlobalMemNode ? 1u : 0u);
   return static_cast<uint32_t>(std::abs(fx - tx) + std::abs(fy - ty)) + extra;
+}
+
+void Noc::attach_trace(telemetry::TraceSink& sink, uint32_t pid) {
+  static constexpr const char* kDirNames[4] = {"+x", "-x", "+y", "-y"};
+  for (size_t id = 0; id < links_.size(); ++id) {
+    for (size_t dir = 0; dir < 4; ++dir) {
+      Link* l = links_[id][dir].get();
+      if (l == nullptr) continue;
+      l->trace_tid =
+          sink.tid(pid, "noc/r" + std::to_string(id) + "/" + kDirNames[dir]);
+      l->busy.attach_trace(l->trace_tid);
+    }
+  }
+  gmem_link_.trace_tid = sink.tid(pid, "noc/gmem");
+  gmem_link_.busy.attach_trace(gmem_link_.trace_tid);
 }
 
 void Noc::charge(uint64_t bytes, size_t hops) {

@@ -43,6 +43,9 @@ struct Link {
   sim::Resource busy;
   uint64_t bytes_carried = 0;
   uint64_t messages = 0;
+  /// Trace row for this link's occupancy spans; 0 = untraced (the fast
+  /// path: transfer coroutines emit only when nonzero).
+  uint32_t trace_tid = 0;
 };
 
 /// Rendezvous bookkeeping for one (src core, dst core) ordered pair.
@@ -89,6 +92,11 @@ class Noc {
 
   /// Account energy and byte-hop statistics for a delivered message.
   void charge(uint64_t bytes, size_t hops);
+
+  /// Give every link a trace row under process `pid` ("noc/r{router}/{dir}"
+  /// and "noc/gmem") and attach its queue counter. Occupancy spans are then
+  /// emitted by the transfer coroutines in core.cpp.
+  void attach_trace(telemetry::TraceSink& sink, uint32_t pid);
 
   uint64_t total_byte_hops() const { return total_byte_hops_; }
   uint64_t total_messages() const { return total_messages_; }

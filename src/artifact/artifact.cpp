@@ -63,6 +63,14 @@ json::Value StoreStats::to_json() const {
   return v;
 }
 
+void StoreStats::publish(telemetry::Registry& registry) const {
+  registry.counter("artifact.graph_hits").add(graph_hits);
+  registry.counter("artifact.graph_misses").add(graph_misses);
+  registry.counter("artifact.program_hits").add(program_hits);
+  registry.counter("artifact.program_misses").add(program_misses);
+  registry.counter("artifact.evictions").add(evictions);
+}
+
 Store::Store() : Store(Options{}) {}
 
 Store::Store(const Options& opt) : opt_(opt) {}

@@ -89,6 +89,11 @@ struct StoreStats {
   /// rendering the tool summaries print.
   std::string summary() const;
   json::Value to_json() const;
+
+  /// Add these counters into `registry` under "artifact.*" (graph_hits,
+  /// graph_misses, program_hits, program_misses, evictions). Call with a
+  /// delta to publish one run's activity.
+  void publish(telemetry::Registry& registry) const;
 };
 
 /// The thread-safe artifact store. One instance may serve any number of

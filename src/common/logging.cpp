@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -39,6 +40,20 @@ const char* level_name(Level level) {
     case Level::Off: return "OFF";
   }
   return "?";
+}
+
+bool parse_level(const std::string& name, Level* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") *out = Level::Trace;
+  else if (lower == "debug") *out = Level::Debug;
+  else if (lower == "info") *out = Level::Info;
+  else if (lower == "warn" || lower == "warning") *out = Level::Warn;
+  else if (lower == "error") *out = Level::Error;
+  else if (lower == "off" || lower == "none") *out = Level::Off;
+  else return false;
+  return true;
 }
 
 namespace detail {

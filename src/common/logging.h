@@ -25,6 +25,11 @@ void set_sink_file(const std::string& path);
 
 const char* level_name(Level level);
 
+/// Parse a case-insensitive level name ("trace", "debug", "info", "warn",
+/// "error", "off") into `*out`. Returns false (and leaves `*out` unchanged)
+/// on anything else. Shared by the CLIs' --log-level flag.
+bool parse_level(const std::string& name, Level* out);
+
 namespace detail {
 void emit(Level level, const std::string& message);
 

@@ -55,8 +55,11 @@ Evaluator::Evaluator(const SearchSpace& space, const EvalOptions& opts)
       artifacts_(opts.artifacts ? opts.artifacts : std::make_shared<artifact::Store>()),
       runner_(opts.jobs),
       cache_(opts.cache_dir, opts.cache_max_bytes),
-      max_point_time_ps_(opts.max_point_time_ps) {
+      max_point_time_ps_(opts.max_point_time_ps),
+      metrics_(opts.metrics) {
   runner_.set_artifacts(artifacts_);
+  runner_.set_metrics(opts.metrics);
+  runner_.set_trace(opts.trace);
 }
 
 std::vector<EvaluatedPoint> Evaluator::evaluate(const std::vector<Point>& points) {
@@ -117,6 +120,7 @@ std::vector<EvaluatedPoint> Evaluator::evaluate(const std::vector<Point>& points
     if (cache_.load(key, &ep)) {
       ep.from_cache = true;
       ++stats_.hits;
+      if (metrics_ != nullptr) metrics_->counter("dse.cache_hits").add();
       if (progress_) progress_(ep, ++resolved, points.size());
       continue;
     }
@@ -126,10 +130,12 @@ std::vector<EvaluatedPoint> Evaluator::evaluate(const std::vector<Point>& points
     // and alias the rest to its result — same outcome, one simulation.
     if (const auto dup = pending.find(key); dup != pending.end()) {
       ++stats_.hits;
+      if (metrics_ != nullptr) metrics_->counter("dse.cache_hits").add();
       aliases.emplace_back(i, dup->second);
       continue;  // resolved after the batch completes
     }
     ++stats_.misses;
+    if (metrics_ != nullptr) metrics_->counter("dse.cache_misses").add();
     pending.emplace(key, to_run.size());
     to_run.push_back(i);
     keys.push_back(key);

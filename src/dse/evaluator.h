@@ -42,6 +42,13 @@ struct EvalOptions {
   /// evaluator creates a private store (still shared across all of its own
   /// evaluate() calls and BatchRunner workers).
   std::shared_ptr<artifact::Store> artifacts;
+  /// Metrics registry (dse.cache_hits / dse.cache_misses, plus the batch and
+  /// artifact metrics of the underlying BatchRunner); null = off. Must
+  /// outlive the evaluator.
+  telemetry::Registry* metrics = nullptr;
+  /// Trace sink threaded to every simulation this evaluator runs; null =
+  /// off. Must outlive the evaluator.
+  telemetry::TraceSink* trace = nullptr;
 };
 
 /// Cap `scenario`'s simulated-time budget at `max_time_ps` (no-op when 0;
@@ -83,6 +90,7 @@ class Evaluator {
   CacheStats stats_;
   Progress progress_;
   uint64_t max_point_time_ps_ = 0;
+  telemetry::Registry* metrics_ = nullptr;
 };
 
 }  // namespace pim::dse

@@ -132,6 +132,8 @@ ExploreResult explore(const SearchSpace& space, const ExploreOptions& opts) {
   eopts.cache_max_bytes = opts.cache_max_bytes;
   eopts.max_point_time_ps = opts.max_point_time_ps;
   eopts.artifacts = opts.artifacts;
+  eopts.metrics = opts.metrics;
+  eopts.trace = opts.trace;
   Evaluator evaluator(space, eopts);
   if (opts.progress) evaluator.set_progress(opts.progress);
   res.jobs = evaluator.jobs();
@@ -147,6 +149,10 @@ ExploreResult explore(const SearchSpace& space, const ExploreOptions& opts) {
                       std::make_move_iterator(evaluated.end()));
   }
   res.constraints_skipped = sampler->constraint_skips();
+  if (opts.metrics != nullptr) {
+    opts.metrics->counter("dse.points_evaluated").add(res.points.size());
+    opts.metrics->counter("dse.constraints_skipped").add(res.constraints_skipped);
+  }
 
   // Frontier over the feasible, finished points, reported as indices into
   // the full evaluation-order list and ranked by the first objective.

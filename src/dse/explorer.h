@@ -25,6 +25,11 @@ struct ExploreOptions {
   Evaluator::Progress progress;  ///< optional per-point callback
   /// Artifact store shared with other explorations; null = private store.
   std::shared_ptr<artifact::Store> artifacts;
+  /// Metrics registry (dse.points_evaluated, dse.constraints_skipped plus
+  /// everything the evaluator publishes); null = off.
+  telemetry::Registry* metrics = nullptr;
+  /// Trace sink threaded to every simulation of the exploration; null = off.
+  telemetry::TraceSink* trace = nullptr;
 };
 
 struct ExploreResult {

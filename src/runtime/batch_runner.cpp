@@ -33,7 +33,8 @@ struct ResolvedWorkload {
   std::string error;  ///< non-empty: the resolve threw; fail the scenario
 };
 
-ScenarioResult run_one(const Scenario& s, const ResolvedWorkload& wl, artifact::Store& store) {
+ScenarioResult run_one(const Scenario& s, const ResolvedWorkload& wl, artifact::Store& store,
+                       telemetry::TraceSink* trace) {
   ScenarioResult r;
   r.name = s.name.empty() ? s.derive_name() : s.name;
   r.workload = s.workload.label();
@@ -53,7 +54,7 @@ ScenarioResult run_one(const Scenario& s, const ResolvedWorkload& wl, artifact::
       input = nn::random_input(wl.handle.built->input_shape, s.input_seed);
       in_ptr = &input;
     }
-    r.report = simulate_compiled(*net, cfg, in_ptr);
+    r.report = simulate_compiled(*net, cfg, in_ptr, trace);
     r.ok = r.report.finished;
     if (!r.ok) {
       r.timed_out = cfg.sim.max_time_ps > 0;
@@ -204,16 +205,41 @@ BatchResult BatchRunner::run(const std::vector<Scenario>& scenarios) const {
     }
   }
 
+  // Host-side trace rows: one process ("host") with a thread per worker.
+  // Simulated chip timelines land in their own per-scenario processes.
+  uint32_t host_pid = 0;
+  std::vector<uint32_t> worker_tids;
+  if (trace_ != nullptr) {
+    host_pid = trace_->pid("host");
+    worker_tids.resize(batch.jobs);
+    for (unsigned t = 0; t < batch.jobs; ++t) {
+      worker_tids[t] = trace_->tid(host_pid, "worker" + std::to_string(t));
+    }
+  }
+
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
   std::mutex progress_mutex;
-  auto worker = [&]() {
+  auto worker = [&](unsigned wt) {
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= scenarios.size()) return;
-      // Distinct slots: no lock needed for the write itself.
-      batch.results[i] = run_one(scenarios[i], resolved[i], *store);
+      {
+        const Scenario& s = scenarios[i];
+        telemetry::HostSpan span(trace_, trace_ != nullptr ? worker_tids[wt] : 0,
+                                 s.name.empty() ? s.derive_name() : s.name);
+        // Distinct slots: no lock needed for the write itself.
+        batch.results[i] = run_one(s, resolved[i], *store, trace_);
+      }
       const size_t completed = done.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (metrics_ != nullptr) {
+        metrics_->gauge("batch.queue_depth")
+            .set(static_cast<double>(scenarios.size() - completed));
+        metrics_->histogram("batch.scenario_wall_ms").record(batch.results[i].wall_ms);
+        metrics_->counter(batch.results[i].ok ? "batch.scenarios_ok"
+                                              : "batch.scenarios_failed")
+            .add();
+      }
       if (progress_) {
         std::lock_guard<std::mutex> lock(progress_mutex);
         progress_(batch.results[i], completed, scenarios.size());
@@ -222,16 +248,20 @@ BatchResult BatchRunner::run(const std::vector<Scenario>& scenarios) const {
   };
 
   if (batch.jobs == 1) {
-    worker();  // run inline — the serial reference path, no thread overhead
+    worker(0);  // run inline — the serial reference path, no thread overhead
   } else {
     std::vector<std::thread> pool;
     pool.reserve(batch.jobs);
-    for (unsigned t = 0; t < batch.jobs; ++t) pool.emplace_back(worker);
+    for (unsigned t = 0; t < batch.jobs; ++t) pool.emplace_back(worker, t);
     for (std::thread& t : pool) t.join();
   }
 
   batch.wall_ms = ms_since(start);
   batch.artifacts = store->stats() - before;
+  if (metrics_ != nullptr) {
+    metrics_->counter("batch.scenarios").add(scenarios.size());
+    batch.artifacts.publish(*metrics_);
+  }
   PIM_LOG(Info) << "batch: " << scenarios.size() << " scenarios on " << batch.jobs
                 << " jobs in " << batch.wall_ms << " ms (speedup " << batch.speedup()
                 << "x vs serial); artifacts: " << batch.artifacts.summary();

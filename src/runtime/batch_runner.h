@@ -105,6 +105,17 @@ class BatchRunner {
   /// still shared across the scenarios and workers of that one run.
   void set_artifacts(std::shared_ptr<artifact::Store> store) { artifacts_ = std::move(store); }
 
+  /// Trace every run() through `sink` (null = off, the default): simulated
+  /// timelines from each scenario's chip, plus host-time worker/scenario
+  /// spans under a "host" process row. The sink must outlive the runner's
+  /// run() calls. Tracing never changes results — `--verify` stays bit-exact.
+  void set_trace(telemetry::TraceSink* sink) { trace_ = sink; }
+
+  /// Publish batch metrics into `registry` on every run(): scenario counts,
+  /// per-scenario wall-time histogram, queue depth, and the run's artifact
+  /// store delta. Null (the default) disables.
+  void set_metrics(telemetry::Registry* registry) { metrics_ = registry; }
+
   /// Run every scenario, `jobs` at a time. Workloads are resolved up front
   /// (one graph build per unique workload) and programs are compiled once
   /// per unique (graph, compile-relevant arch, options) key, shared across
@@ -116,6 +127,8 @@ class BatchRunner {
   unsigned jobs_;
   Progress progress_;
   std::shared_ptr<artifact::Store> artifacts_;
+  telemetry::TraceSink* trace_ = nullptr;
+  telemetry::Registry* metrics_ = nullptr;
 };
 
 /// Cross product {workloads} x {policies} x {batches} -> scenario list, all

@@ -66,8 +66,9 @@ json::Value Report::to_json() const {
 
 Report simulate_program(const isa::Program& program, const config::ArchConfig& cfg,
                         const std::vector<int8_t>* input_bytes, uint64_t input_gaddr,
-                        uint64_t output_gaddr, size_t output_elems) {
-  arch::Chip chip(cfg, program);
+                        uint64_t output_gaddr, size_t output_elems,
+                        telemetry::TraceSink* trace) {
+  arch::Chip chip(cfg, program, trace);
   if (input_bytes != nullptr) {
     chip.write_global(input_gaddr,
                       std::span<const uint8_t>(
@@ -79,6 +80,18 @@ Report simulate_program(const isa::Program& program, const config::ArchConfig& c
   report.policy = program.mapping_policy;
   report.stats = chip.run();
   report.finished = chip.finished();
+  if (trace != nullptr) {
+    // Layer phases, reconstructed post-run from the per-layer stats: one
+    // complete event per layer spanning first issue to last completion.
+    // stats.layers is a std::map, so the tid/event order is deterministic.
+    for (const auto& [id, ls] : report.stats.layers) {
+      if (ls.first_issue_ps == sim::kTimeMax) continue;  // layer never issued
+      const uint32_t tid =
+          trace->tid(chip.trace_pid(), "layer/" + std::to_string(id));
+      trace->complete(tid, "layer" + std::to_string(id), ls.first_issue_ps,
+                      ls.last_complete_ps - ls.first_issue_ps);
+    }
+  }
   if (output_elems > 0) {
     std::vector<uint8_t> raw = chip.read_global(output_gaddr, output_elems);
     report.output.assign(raw.begin(), raw.end());
@@ -101,7 +114,7 @@ CompiledNetwork compile_network(const nn::Graph& graph, const config::ArchConfig
 }
 
 Report simulate_compiled(const CompiledNetwork& net, const config::ArchConfig& cfg,
-                         const nn::Tensor* input) {
+                         const nn::Tensor* input, telemetry::TraceSink* trace) {
   const uint32_t batch = std::max(1u, net.copts.batch);
   const size_t output_elems = net.output_elems_per_image * batch;
   // The same input tensor is replicated for every batch position; batched
@@ -116,14 +129,15 @@ Report simulate_compiled(const CompiledNetwork& net, const config::ArchConfig& c
     in_ptr = &input_bytes;
   }
   Report report = simulate_program(net.program, cfg, in_ptr, net.copts.input_gaddr,
-                                   net.copts.output_gaddr, output_elems);
+                                   net.copts.output_gaddr, output_elems, trace);
   report.compile = net.compile;
   return report;
 }
 
 Report simulate_network(const nn::Graph& graph, const config::ArchConfig& cfg,
-                        const compiler::CompileOptions& copts, const nn::Tensor* input) {
-  return simulate_compiled(compile_network(graph, cfg, copts), cfg, input);
+                        const compiler::CompileOptions& copts, const nn::Tensor* input,
+                        telemetry::TraceSink* trace) {
+  return simulate_compiled(compile_network(graph, cfg, copts), cfg, input, trace);
 }
 
 }  // namespace pim::runtime

@@ -14,6 +14,7 @@
 #include "isa/program.h"
 #include "nn/executor.h"
 #include "nn/graph.h"
+#include "telemetry/telemetry.h"
 
 namespace pim::runtime {
 
@@ -58,9 +59,12 @@ CompiledNetwork compile_network(const nn::Graph& graph, const config::ArchConfig
 
 /// Back half of simulate_network: simulate an already-compiled network on
 /// `cfg`. When `input` is provided it is replicated per batch position and
-/// `report.output` holds the simulated network output.
+/// `report.output` holds the simulated network output. `trace`, when
+/// non-null, records the run's structural timeline (core units, NoC links,
+/// per-layer phases); tracing never changes the Report.
 Report simulate_compiled(const CompiledNetwork& net, const config::ArchConfig& cfg,
-                         const nn::Tensor* input = nullptr);
+                         const nn::Tensor* input = nullptr,
+                         telemetry::TraceSink* trace = nullptr);
 
 /// End-to-end: compile `graph` under `copts`, simulate on `cfg`, return the
 /// report. When `input` is provided the run is functional and
@@ -69,14 +73,16 @@ Report simulate_compiled(const CompiledNetwork& net, const config::ArchConfig& c
 /// simulate_compiled.
 Report simulate_network(const nn::Graph& graph, const config::ArchConfig& cfg,
                         const compiler::CompileOptions& copts = {},
-                        const nn::Tensor* input = nullptr);
+                        const nn::Tensor* input = nullptr,
+                        telemetry::TraceSink* trace = nullptr);
 
 /// Simulate an already-compiled program. `input_bytes`, when provided, is
 /// written to global memory at `input_gaddr` before the run; `output_elems`
-/// bytes are read back from `output_gaddr` after it.
+/// bytes are read back from `output_gaddr` after it. `trace`, when non-null,
+/// records the run's structural timeline.
 Report simulate_program(const isa::Program& program, const config::ArchConfig& cfg,
                         const std::vector<int8_t>* input_bytes = nullptr,
                         uint64_t input_gaddr = 0, uint64_t output_gaddr = 0,
-                        size_t output_elems = 0);
+                        size_t output_elems = 0, telemetry::TraceSink* trace = nullptr);
 
 }  // namespace pim::runtime

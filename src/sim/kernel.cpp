@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace pim::sim {
 
@@ -43,6 +44,9 @@ void Event::notify() {
     // waiters without walking their links (nobody will run anyway).
     waiters_ = {};
     return;
+  }
+  if (trace_tid_ != 0 && kernel_->trace_ != nullptr && waiters_.count > 0) {
+    kernel_->trace_->instant(trace_tid_, "notify", kernel_->now_);
   }
   // Detach the waiter chain first: a resumed process may immediately
   // co_await this event again and must land in the *next* notification.
@@ -242,9 +246,16 @@ void Resource::release() {
   if (Process::promise_type* next = waiters_.pop()) {
     // Hand the unit directly to the next waiter: available_ stays 0.
     kernel_->schedule_now(Process::Handle::from_promise(*next));
+    if (trace_tid_ != 0) trace_queue_changed();
     return;
   }
   if (available_ < capacity_) ++available_;
+}
+
+void Resource::trace_queue_changed() {
+  if (telemetry::TraceSink* sink = kernel_->trace_) {
+    sink->counter(trace_tid_, "queue", static_cast<double>(waiters_.count), kernel_->now_);
+  }
 }
 
 }  // namespace pim::sim

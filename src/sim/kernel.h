@@ -48,6 +48,10 @@
 
 #include "common/math_util.h"
 
+namespace pim::telemetry {
+class TraceSink;
+}
+
 namespace pim::sim {
 
 /// Simulated time in picoseconds.
@@ -189,6 +193,11 @@ class Event {
   /// Number of processes currently blocked on this event.
   size_t waiter_count() const { return waiters_.count; }
 
+  /// Record an instant trace event on `tid` (in the kernel's attached
+  /// TraceSink) at every notify() that wakes at least one waiter. Purely
+  /// observational; tid 0 detaches.
+  void attach_trace(uint32_t tid) { trace_tid_ = tid; }
+
   struct Awaiter {
     Event* event;
     bool await_ready() const noexcept { return false; }
@@ -200,6 +209,7 @@ class Event {
  private:
   Kernel* kernel_;
   detail::WaitQueue waiters_;
+  uint32_t trace_tid_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -252,6 +262,14 @@ class Kernel {
   /// the same workload must report identical fingerprints; any reordering of
   /// same-time events changes the value.
   uint64_t order_fingerprint() const { return fingerprint_; }
+
+  /// Attach a trace sink (nullptr detaches). Instrumented primitives
+  /// (Event/Resource with a trace tid, arch models) emit through it; with no
+  /// sink, or with no tid attached, instrumented paths cost one predictable
+  /// branch. Attaching never alters scheduling — order_fingerprint() is
+  /// identical with tracing on or off.
+  void set_trace(telemetry::TraceSink* sink) { trace_ = sink; }
+  telemetry::TraceSink* trace() const { return trace_; }
 
   /// Awaitable: suspend the calling process for `delta` picoseconds.
   struct DelayAwaiter {
@@ -345,6 +363,7 @@ class Kernel {
   // (reachable from frame destructors, e.g. a Resource::Lease) must not
   // dereference queue links — the frames they point into may already be gone.
   bool destroying_ = false;
+  telemetry::TraceSink* trace_ = nullptr;
   Time now_ = 0;
   uint64_t seq_ = 0;
   uint64_t events_executed_ = 0;
@@ -373,13 +392,18 @@ class Resource {
   struct AcquireAwaiter {
     Resource* res;
     bool await_ready() {
+      // Uncontended fast path: untouched by tracing (no extra branch here —
+      // only the wait path below is instrumented).
       if (res->available_ > 0) {
         --res->available_;
         return true;
       }
       return false;
     }
-    void await_suspend(Process::Handle h) { res->waiters_.push(h.promise()); }
+    void await_suspend(Process::Handle h) {
+      res->waiters_.push(h.promise());
+      if (res->trace_tid_ != 0) res->trace_queue_changed();
+    }
     void await_resume() const noexcept {}
   };
   AcquireAwaiter acquire() { return AcquireAwaiter{this}; }
@@ -392,6 +416,11 @@ class Resource {
   uint32_t capacity() const { return capacity_; }
   size_t queue_length() const { return waiters_.count; }
   bool busy() const { return available_ == 0; }
+
+  /// Emit a queue-length counter event on `tid` (in the kernel's attached
+  /// TraceSink) whenever a process joins or leaves the wait queue. Purely
+  /// observational; tid 0 detaches.
+  void attach_trace(uint32_t tid) { trace_tid_ = tid; }
 
   /// RAII lease helper.
   class Lease {
@@ -430,10 +459,13 @@ class Resource {
   ScopedAwaiter scoped() { return ScopedAwaiter{this}; }
 
  private:
+  void trace_queue_changed();  // out of line: needs telemetry::TraceSink
+
   Kernel* kernel_;
   uint32_t available_;
   uint32_t capacity_;
   detail::WaitQueue waiters_;
+  uint32_t trace_tid_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,267 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pim::telemetry {
+
+// ---------------------------------------------------------------------------
+// TraceSink
+// ---------------------------------------------------------------------------
+
+TraceSink::TraceSink() : host_epoch_(std::chrono::steady_clock::now()) {}
+
+uint32_t TraceSink::pid(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  process_names_.push_back(name);
+  return static_cast<uint32_t>(process_names_.size());
+}
+
+uint32_t TraceSink::tid(uint32_t p, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto key = std::make_pair(p, name);
+  auto it = tid_by_name_.find(key);
+  if (it != tid_by_name_.end()) return it->second;
+  thread_names_.emplace_back(p, name);
+  const uint32_t t = static_cast<uint32_t>(thread_names_.size());
+  tid_by_name_.emplace(std::move(key), t);
+  return t;
+}
+
+void TraceSink::push(Event e) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // tid 0 is the "untraced" sentinel; emitting against it is a programming
+  // error upstream, but dropping beats corrupting the file.
+  if (e.tid == 0 || e.tid > thread_names_.size()) return;
+  e.pid = thread_names_[e.tid - 1].first;
+  events_.push_back(std::move(e));
+}
+
+void TraceSink::begin(uint32_t tid, std::string name, uint64_t ts_ps) {
+  push(Event{'B', 0, tid, ts_ps, 0, 0.0, std::move(name)});
+}
+
+void TraceSink::end(uint32_t tid, uint64_t ts_ps) {
+  push(Event{'E', 0, tid, ts_ps, 0, 0.0, {}});
+}
+
+void TraceSink::complete(uint32_t tid, std::string name, uint64_t ts_ps, uint64_t dur_ps) {
+  push(Event{'X', 0, tid, ts_ps, dur_ps, 0.0, std::move(name)});
+}
+
+void TraceSink::instant(uint32_t tid, std::string name, uint64_t ts_ps) {
+  push(Event{'i', 0, tid, ts_ps, 0, 0.0, std::move(name)});
+}
+
+void TraceSink::counter(uint32_t tid, std::string name, double value, uint64_t ts_ps) {
+  push(Event{'C', 0, tid, ts_ps, 0, value, std::move(name)});
+}
+
+uint64_t TraceSink::host_now_ps() const {
+  const auto d = std::chrono::steady_clock::now() - host_epoch_;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count() * 1000);
+}
+
+size_t TraceSink::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+json::Value TraceSink::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json::Array out;
+
+  // Metadata first: process and thread names. Catapult sorts rows by these.
+  for (size_t i = 0; i < process_names_.size(); ++i) {
+    json::Object m;
+    m["ph"] = json::Value("M");
+    m["name"] = json::Value("process_name");
+    m["pid"] = json::Value(static_cast<int64_t>(i + 1));
+    m["tid"] = json::Value(static_cast<int64_t>(0));
+    json::Object args;
+    args["name"] = json::Value(process_names_[i]);
+    m["args"] = json::Value(std::move(args));
+    out.push_back(json::Value(std::move(m)));
+  }
+  for (size_t i = 0; i < thread_names_.size(); ++i) {
+    json::Object m;
+    m["ph"] = json::Value("M");
+    m["name"] = json::Value("thread_name");
+    m["pid"] = json::Value(static_cast<int64_t>(thread_names_[i].first));
+    m["tid"] = json::Value(static_cast<int64_t>(i + 1));
+    json::Object args;
+    args["name"] = json::Value(thread_names_[i].second);
+    m["args"] = json::Value(std::move(args));
+    out.push_back(json::Value(std::move(m)));
+  }
+
+  // Stable sort by timestamp: X events are emitted at completion time with
+  // their issue-time ts, so the raw buffer is not chronological. Stability
+  // keeps B-before-E for zero-width spans at the same instant.
+  std::vector<const Event*> sorted;
+  sorted.reserve(events_.size());
+  for (const Event& e : events_) sorted.push_back(&e);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event* a, const Event* b) { return a->ts_ps < b->ts_ps; });
+
+  for (const Event* e : sorted) {
+    json::Object o;
+    o["ph"] = json::Value(std::string(1, e->phase));
+    o["pid"] = json::Value(static_cast<int64_t>(e->pid));
+    o["tid"] = json::Value(static_cast<int64_t>(e->tid));
+    o["ts"] = json::Value(static_cast<double>(e->ts_ps) / 1e6);  // ps -> us
+    switch (e->phase) {
+      case 'X':
+        o["name"] = json::Value(e->name);
+        o["dur"] = json::Value(static_cast<double>(e->dur_ps) / 1e6);
+        break;
+      case 'B':
+        o["name"] = json::Value(e->name);
+        break;
+      case 'E':
+        break;
+      case 'i':
+        o["name"] = json::Value(e->name);
+        o["s"] = json::Value("t");
+        break;
+      case 'C': {
+        o["name"] = json::Value(e->name);
+        json::Object args;
+        args["value"] = json::Value(e->value);
+        o["args"] = json::Value(std::move(args));
+        break;
+      }
+      default:
+        break;
+    }
+    out.push_back(json::Value(std::move(o)));
+  }
+
+  json::Object root;
+  root["traceEvents"] = json::Value(std::move(out));
+  root["displayTimeUnit"] = json::Value("ns");
+  return json::Value(std::move(root));
+}
+
+void TraceSink::write(const std::string& path) const {
+  json::write_file(path, to_json());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+double Histogram::bucket_bound(size_t i) {
+  if (i + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  double b = 0.25;
+  for (size_t k = 0; k < i; ++k) b *= 4.0;
+  return b;
+}
+
+void Histogram::record(double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t i = 0;
+  while (i + 1 < kBuckets && v > bucket_bound(i)) ++i;
+  ++buckets_[i];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+json::Value Histogram::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json::Object o;
+  o["count"] = json::Value(static_cast<int64_t>(count_));
+  o["sum"] = json::Value(sum_);
+  o["min"] = json::Value(min_);
+  o["max"] = json::Value(max_);
+  json::Array buckets;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    json::Object b;
+    const double bound = bucket_bound(i);
+    // JSON has no Infinity literal; the overflow bucket gets "le": "inf".
+    if (std::isinf(bound)) {
+      b["le"] = json::Value("inf");
+    } else {
+      b["le"] = json::Value(bound);
+    }
+    b["count"] = json::Value(static_cast<int64_t>(buckets_[i]));
+    buckets.push_back(json::Value(std::move(b)));
+  }
+  o["buckets"] = json::Value(std::move(buckets));
+  return json::Value(std::move(o));
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+json::Value Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json::Object counters;
+  for (const auto& [name, c] : counters_)
+    counters[name] = json::Value(static_cast<int64_t>(c->value()));
+  json::Object gauges;
+  for (const auto& [name, g] : gauges_) gauges[name] = json::Value(g->value());
+  json::Object histograms;
+  for (const auto& [name, h] : histograms_) histograms[name] = h->to_json();
+  json::Object root;
+  root["counters"] = json::Value(std::move(counters));
+  root["gauges"] = json::Value(std::move(gauges));
+  root["histograms"] = json::Value(std::move(histograms));
+  return json::Value(std::move(root));
+}
+
+void Registry::write(const std::string& path) const {
+  json::write_file(path, to_json());
+}
+
+}  // namespace pim::telemetry

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
-#include <fstream>
+#include <map>
+#include <string>
 
 #include "compiler/compiler.h"
 #include "config/arch_config.h"
+#include "json/json.h"
 #include "nn/executor.h"
 #include "nn/models.h"
 #include "runtime/simulator.h"
@@ -108,25 +110,41 @@ TEST(Replication, ReducesLatencyOnConvBoundNet) {
 }
 
 TEST(Trace, FileContainsRetiredInstructions) {
+  // The legacy sim.trace_file config key now lands on the telemetry
+  // TraceSink: the file is a Chrome trace-event JSON whose core-unit lanes
+  // carry one complete (X) event per retired instruction.
   const std::string path =
-      (std::filesystem::temp_directory_path() / "pim_trace_test.log").string();
+      (std::filesystem::temp_directory_path() / "pim_trace_test.json").string();
   nn::Graph net = nn::build_mlp(8, {}, 4);
   config::ArchConfig cfg = config::ArchConfig::tiny();
   cfg.sim.trace_file = path;
   runtime::Report rep = runtime::simulate_network(net, cfg, {});
   EXPECT_TRUE(rep.finished);
-  std::ifstream in(path);
-  ASSERT_TRUE(in.is_open());
-  size_t lines = 0;
-  bool saw_mvm = false, saw_halt = false;
-  std::string line;
-  while (std::getline(in, line)) {
-    ++lines;
-    if (line.find("mvm") != std::string::npos) saw_mvm = true;
-    if (line.find("halt") != std::string::npos) saw_halt = true;
-    EXPECT_NE(line.find("core="), std::string::npos);
+
+  const json::Value doc = json::parse_file(path);
+  const json::Array& events = doc.at("traceEvents").as_array();
+  // tid -> lane name, from the thread_name metadata the sink always emits.
+  std::map<int64_t, std::string> lanes;
+  for (const json::Value& ev : events) {
+    if (ev.at("ph").as_string() == "M" && ev.at("name").as_string() == "thread_name") {
+      lanes[ev.at("tid").as_int()] = ev.at("args").at("name").as_string();
+    }
   }
-  EXPECT_EQ(lines, rep.stats.total_instructions());
+  size_t instr_events = 0;
+  bool saw_mvm = false, saw_halt = false;
+  for (const json::Value& ev : events) {
+    if (ev.at("ph").as_string() != "X") continue;
+    const std::string& lane = lanes[ev.at("tid").as_int()];
+    ASSERT_FALSE(lane.empty());  // every event lane must be named
+    // Instructions retire on the per-core unit lanes; dispatch carries only
+    // ROB-stall spans and noc/* carries link transfers.
+    if (lane.rfind("core", 0) != 0 || lane.find("/dispatch") != std::string::npos) continue;
+    ++instr_events;
+    const std::string name = ev.at("name").as_string();
+    if (name.find("mvm") != std::string::npos) saw_mvm = true;
+    if (name.find("halt") != std::string::npos) saw_halt = true;
+  }
+  EXPECT_EQ(instr_events, rep.stats.total_instructions());
   EXPECT_TRUE(saw_mvm);
   EXPECT_TRUE(saw_halt);
   std::filesystem::remove(path);

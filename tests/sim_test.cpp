@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sim/kernel.h"
+#include "telemetry/telemetry.h"
 
 namespace pim::sim {
 namespace {
@@ -368,10 +369,17 @@ Process fp_parent(Kernel& k, std::vector<int>& log) {
 
 // Deterministic mix of every scheduling path: same-delta notify/release and
 // nested spawn, future-time delays, plain callbacks, FIFO resource handoff.
-uint64_t reference_fingerprint(std::vector<int>* order = nullptr) {
+uint64_t reference_fingerprint(std::vector<int>* order = nullptr,
+                               telemetry::TraceSink* sink = nullptr) {
   Kernel k;
   Resource r(k, 2);
   Event e(k);
+  if (sink != nullptr) {
+    k.set_trace(sink);
+    const uint32_t pid = sink->pid("kernel");
+    r.attach_trace(sink->tid(pid, "resource"));
+    e.attach_trace(sink->tid(pid, "event"));
+  }
   std::vector<int> log;
   for (int id = 0; id < 8; ++id) k.spawn(fp_worker(k, r, e, log, id));
   k.spawn(fp_notifier(k, e));
@@ -398,6 +406,19 @@ TEST(Kernel, OrderFingerprintMatchesPreRefactorKernel) {
 
 TEST(Kernel, OrderFingerprintDeterministicAcrossRuns) {
   EXPECT_EQ(reference_fingerprint(), reference_fingerprint());
+}
+
+TEST(Kernel, OrderFingerprintUnchangedWithTracingAttached) {
+  // Telemetry is pure observation: attaching a TraceSink to the kernel and
+  // to the contended resource/event must not perturb the global event order.
+  // Same golden as OrderFingerprintMatchesPreRefactorKernel, tracing on.
+  telemetry::TraceSink sink;
+  std::vector<int> traced_log, plain_log;
+  EXPECT_EQ(reference_fingerprint(&traced_log, &sink), 0xb1da6631ea84033bull);
+  EXPECT_EQ(reference_fingerprint(&plain_log), 0xb1da6631ea84033bull);
+  EXPECT_EQ(traced_log, plain_log);
+  // The contended resource queue and the event notifies were recorded.
+  EXPECT_GT(sink.event_count(), 0u);
 }
 
 TEST(Kernel, OrderFingerprintSensitiveToOrder) {

@@ -19,8 +19,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace pim::tools {
 
@@ -153,6 +157,68 @@ class ArgParser {
 
   std::string prog_, summary_;
   std::vector<Spec> specs_;
+};
+
+/// Declare the observability options every CLI shares: --log-level,
+/// --trace-out and --metrics-out. Pair with Observability::from_args().
+inline void add_observability_options(ArgParser& args) {
+  args.option("--log-level", "LEVEL", "warn",
+              "log verbosity: trace, debug, info, warn, error, off");
+  args.option("--trace-out", "FILE", "",
+              "write a Chrome/Perfetto trace-event JSON timeline of the run");
+  args.option("--metrics-out", "FILE", "", "write a metrics-registry JSON snapshot");
+}
+
+/// The shared observability state of one tool invocation: an optional trace
+/// sink and metrics registry (allocated only when the flags asked for them)
+/// plus the global log level. Call finish() once, after the work, to write
+/// the output files.
+struct Observability {
+  std::unique_ptr<telemetry::TraceSink> trace;
+  std::unique_ptr<telemetry::Registry> metrics;
+  std::string trace_path;
+  std::string metrics_path;
+
+  /// Apply --log-level and materialize the sinks --trace-out/--metrics-out
+  /// asked for. Exits 2 on a malformed level (same contract as the parser).
+  static Observability from_args(const ArgParser& args, const char* prog) {
+    Observability obs;
+    const std::string& level = args.get("--log-level");
+    log::Level parsed = log::Level::Warn;
+    if (!log::parse_level(level, &parsed)) {
+      std::fprintf(stderr, "%s: unknown --log-level \"%s\" (try --help)\n", prog,
+                   level.c_str());
+      std::exit(2);
+    }
+    log::set_level(parsed);
+    obs.trace_path = args.get("--trace-out");
+    obs.metrics_path = args.get("--metrics-out");
+    if (!obs.trace_path.empty()) obs.trace = std::make_unique<telemetry::TraceSink>();
+    if (!obs.metrics_path.empty()) obs.metrics = std::make_unique<telemetry::Registry>();
+    return obs;
+  }
+
+  telemetry::TraceSink* sink() const { return trace.get(); }
+  telemetry::Registry* registry() const { return metrics.get(); }
+
+  /// Write the requested output files; exits 1 with a diagnostic on I/O
+  /// failure. Safe to call when neither flag was given. Notices go to
+  /// stderr so --json report output on stdout stays machine-parseable.
+  void finish(const char* prog) const {
+    try {
+      if (trace) {
+        trace->write(trace_path);
+        std::fprintf(stderr, "wrote %s\n", trace_path.c_str());
+      }
+      if (metrics) {
+        metrics->write(metrics_path);
+        std::fprintf(stderr, "wrote %s\n", metrics_path.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", prog, e.what());
+      std::exit(1);
+    }
+  }
 };
 
 }  // namespace pim::tools

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/logging.h"
 #include "config/arch_config.h"
 #include "isa/assembler.h"
 #include "isa/program.h"
@@ -20,9 +21,17 @@ int main(int argc, char** argv) {
   const char* input = tools::positional(argc, argv);
   if (input == nullptr) {
     tools::usage(
-        "usage: pimasm <program.s> [--out prog.json]\n"
+        "usage: pimasm <program.s> [--out prog.json] [--log-level LEVEL]\n"
         "       pimasm <program.json> --disasm [--out prog.s]\n"
         "       pimasm <program.json> --verify --arch <arch.json>\n");
+  }
+  if (const char* level = arg_value(argc, argv, "--log-level")) {
+    log::Level parsed = log::Level::Warn;
+    if (!log::parse_level(level, &parsed)) {
+      std::fprintf(stderr, "pimasm: unknown --log-level \"%s\"\n", level);
+      return 2;
+    }
+    log::set_level(parsed);
   }
   try {
     if (has_flag(argc, argv, "--disasm")) {

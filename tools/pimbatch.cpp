@@ -141,7 +141,10 @@ int main(int argc, char** argv) {
   args.option("--json", "FILE", "", "write the summary as JSON");
   args.option("--md", "FILE", "", "write the summary as markdown");
   args.flag("--quiet", "suppress per-scenario progress");
+  tools::add_observability_options(args);
   args.parse(argc, argv);
+
+  tools::Observability obs = tools::Observability::from_args(args, "pimbatch");
 
   try {
     const unsigned jobs = args.get_unsigned("--jobs");
@@ -175,6 +178,8 @@ int main(int argc, char** argv) {
     if (scenarios.empty()) die("empty scenario list");
 
     runtime::BatchRunner runner(jobs);
+    runner.set_trace(obs.sink());
+    runner.set_metrics(obs.registry());
     if (!quiet) {
       std::printf("pimbatch: %zu scenarios on %u jobs\n", scenarios.size(), runner.jobs());
       runner.set_progress([](const runtime::ScenarioResult& r, size_t completed, size_t total) {
@@ -201,6 +206,7 @@ int main(int argc, char** argv) {
       tools::write_text("pimbatch", args.get("--json"), result.to_json().dump(2) + "\n");
     }
     if (!args.get("--md").empty()) tools::write_text("pimbatch", args.get("--md"), result.markdown());
+    obs.finish("pimbatch");
     return result.all_ok() && verified_ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pimbatch: %s\n", e.what());

@@ -60,7 +60,10 @@ int main(int argc, char** argv) {
   args.option("--out", "FILE", "dse.json", "write the full result as JSON");
   args.option("--csv", "FILE", "", "also write every evaluated point as CSV");
   args.flag("--quiet", "suppress per-point progress on stderr");
+  tools::add_observability_options(args);
   args.parse(argc, argv);
+
+  tools::Observability obs = tools::Observability::from_args(args, "pimdse");
 
   try {
     if (args.get("--space").empty()) {
@@ -107,6 +110,8 @@ int main(int argc, char** argv) {
     opts.max_point_time_ps = ms_ps == 0   ? us_ps
                              : us_ps == 0 ? ms_ps
                                           : std::min(ms_ps, us_ps);
+    opts.metrics = obs.registry();
+    opts.trace = obs.sink();
     if (opts.budget == 0) {
       std::fprintf(stderr, "pimdse: --budget must be >= 1\n");
       return 2;
@@ -151,6 +156,7 @@ int main(int argc, char** argv) {
       tools::write_text("pimdse", args.get("--out"), res.to_json().dump(2) + "\n");
     }
     if (!args.get("--csv").empty()) tools::write_text("pimdse", args.get("--csv"), res.csv());
+    obs.finish("pimdse");
 
     return res.frontier.empty() ? 1 : 0;
   } catch (const std::exception& e) {

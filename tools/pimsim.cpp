@@ -9,15 +9,16 @@
 //     only as a file runs end-to-end without touching pimc.
 //
 // Reports latency, power and energy; optionally dumps the full report as
-// JSON or an instruction trace.
+// JSON, a Chrome/Perfetto timeline (--trace-out) or a metrics snapshot
+// (--metrics-out).
 //
 //   pimsim --program resnet18.prog.json --arch configs/paper_64core.json
-//   pimsim --workload configs/workload_resblock.json --arch configs/tiny.json
-//          --functional [--json] [--trace trace.log]
+//   pimsim --workload configs/workload_resblock.json --arch tiny
+//          --functional [--json] [--trace-out trace.json] [--metrics-out m.json]
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
+#include <string>
 
 #include "artifact/artifact.h"
 #include "config/arch_config.h"
@@ -25,39 +26,61 @@
 #include "nn/executor.h"
 #include "runtime/simulator.h"
 #include "workload/workload.h"
-#include "tool_common.h"
+#include "cli.h"
+
+namespace {
+
+using namespace pim;
+
+/// --arch accepts the three named presets or a configuration file path.
+config::ArchConfig arch_by_name_or_file(const std::string& name) {
+  if (name == "tiny") return config::ArchConfig::tiny();
+  if (name == "paper") return config::ArchConfig::paper_default();
+  if (name == "mnsim") return config::ArchConfig::mnsim_like();
+  return config::ArchConfig::load(name);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace pim;
-  using tools::arg_value;
-  using tools::has_flag;
+  tools::ArgParser args("pimsim", "simulate a compiled program or a declarative workload");
+  args.option("--program", "FILE", "", "compiled ISA program JSON (from pimc)");
+  args.option("--workload", "NAME|FILE", "",
+              "zoo name, \"mlp\", or a graph description .json file");
+  args.option("--arch", "NAME|FILE", "paper",
+              "architecture preset (tiny|paper|mnsim) or configuration JSON");
+  args.option("--input-hw", "N", "32", "input resolution (workload mode)");
+  args.flag("--functional", "move real data and check outputs (workload mode)");
+  args.flag("--json", "print the full report as JSON");
+  args.option("--trace", "FILE", "",
+              "legacy alias for --trace-out (kept for old scripts)");
+  tools::add_observability_options(args);
+  args.parse(argc, argv);
 
-  const char* prog_path = arg_value(argc, argv, "--program");
-  const char* workload_arg = arg_value(argc, argv, "--workload");
-  const char* arch_path = arg_value(argc, argv, "--arch");
-  if ((prog_path == nullptr) == (workload_arg == nullptr) || arch_path == nullptr) {
-    tools::usage(
-        "usage: pimsim --program <prog.json> --arch <arch.json> [--json]\n"
-        "              [--trace trace.log]\n"
-        "       pimsim --workload <zoo name | mlp | graph.json> --arch <arch.json>\n"
-        "              [--input-hw N] [--functional] [--json] [--trace trace.log]\n");
+  tools::Observability obs = tools::Observability::from_args(args, "pimsim");
+
+  const std::string prog_path = args.get("--program");
+  const std::string workload_arg = args.get("--workload");
+  if (prog_path.empty() == workload_arg.empty()) {
+    std::fprintf(stderr, "pimsim: exactly one of --program / --workload is required (try --help)\n");
+    return 2;
   }
+
   try {
-    config::ArchConfig cfg = config::ArchConfig::load(arch_path);
-    if (const char* trace = arg_value(argc, argv, "--trace")) cfg.sim.trace_file = trace;
+    config::ArchConfig cfg = arch_by_name_or_file(args.get("--arch"));
+    // The legacy --trace flag routed an instruction trace through the config;
+    // it now lands on the same TraceSink machinery as --trace-out.
+    if (!args.get("--trace").empty()) cfg.sim.trace_file = args.get("--trace");
 
     runtime::Report report;
-    if (workload_arg != nullptr) {
-      const char* hw_arg = arg_value(argc, argv, "--input-hw", "32");
-      char* hw_end = nullptr;
-      const long hw = std::strtol(hw_arg, &hw_end, 10);
-      if (*hw_arg == '\0' || *hw_end != '\0' || hw < 1 || hw > INT32_MAX) {
-        std::fprintf(stderr, "pimsim: --input-hw needs a positive integer, got \"%s\"\n",
-                     hw_arg);
+    if (!workload_arg.empty()) {
+      const long hw = args.get_int("--input-hw");
+      if (hw < 1 || hw > INT32_MAX) {
+        std::fprintf(stderr, "pimsim: --input-hw needs a positive integer, got %ld\n", hw);
         return 2;
       }
       const int32_t input_hw = static_cast<int32_t>(hw);
-      const bool functional = has_flag(argc, argv, "--functional");
+      const bool functional = args.has("--functional");
       const workload::WorkloadSpec spec =
           workload::parse_workload_token(workload_arg, input_hw);
       // Resolve and compile through the artifact store — single runs pay the
@@ -84,19 +107,20 @@ int main(int argc, char** argv) {
                    spec.label().c_str(),
                    static_cast<unsigned long long>(workload::graph_fingerprint(wl.built->graph)),
                    wl.built->graph.size());
-      report = runtime::simulate_compiled(*net, cfg, in_ptr);
+      report = runtime::simulate_compiled(*net, cfg, in_ptr, obs.sink());
       const Clock::time_point t2 = Clock::now();
       const auto ms = [](Clock::time_point a, Clock::time_point b) {
         return std::chrono::duration<double, std::milli>(b - a).count();
       };
       std::fprintf(stderr, "pimsim: build+compile %.1f ms, simulate %.1f ms; artifacts: %s\n",
                    ms(t0, t1), ms(t1, t2), store.stats().summary().c_str());
+      if (obs.registry() != nullptr) store.stats().publish(*obs.registry());
     } else {
       isa::Program program = isa::Program::load(prog_path);
-      report = runtime::simulate_program(program, cfg);
+      report = runtime::simulate_program(program, cfg, nullptr, 0, 0, 0, obs.sink());
     }
 
-    if (has_flag(argc, argv, "--json")) {
+    if (args.has("--json")) {
       std::printf("%s\n", report.to_json().dump(2).c_str());
     } else {
       std::printf("%s\n", report.summary().c_str());
@@ -106,6 +130,7 @@ int main(int argc, char** argv) {
                     report.stats.energy.get(comp) * 1e-6);
       }
     }
+    obs.finish("pimsim");
     return report.finished ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pimsim: %s\n", e.what());

@@ -52,7 +52,13 @@ int main(int argc, char** argv) {
   args.option("--classes", "N", "10", "classifier width for builtin/mlp workloads");
   args.flag("--no-params", "export topology only (no weights/bias; reloads "
                            "re-seed from --seed when run functionally)");
+  tools::add_observability_options(args);
   args.parse(argc, argv);
+
+  tools::Observability obs = tools::Observability::from_args(args, "pimwl");
+  // Host-side tid for the build spans below (0 = tracing off).
+  const uint32_t build_tid =
+      obs.sink() != nullptr ? obs.sink()->tid(obs.sink()->pid("host"), "build") : 0;
 
   try {
     if (args.has("--list")) {
@@ -74,19 +80,29 @@ int main(int argc, char** argv) {
       }
       const workload::WorkloadSpec spec = spec_from_token(args, args.get("--export"));
       const bool params = !args.has("--no-params");
+      telemetry::HostSpan span(obs.sink(), build_tid, "build " + spec.label());
       const workload::BuiltWorkload wl = workload::build(spec, /*init_params=*/params);
+      span.close();
       workload::export_graph(wl.graph, args.get("--out"), params);
       std::printf("wrote %s: %s, %zu layers, %lld weights%s, graph fingerprint %016llx\n",
                   args.get("--out").c_str(), wl.graph.name().c_str(), wl.graph.size(),
                   static_cast<long long>(wl.graph.total_weight_elems()),
                   params ? "" : " (topology only)",
                   static_cast<unsigned long long>(workload::graph_fingerprint(wl.graph)));
+      if (telemetry::Registry* reg = obs.registry()) {
+        reg->counter("workload.layers").add(wl.graph.size());
+        reg->counter("workload.weight_elems")
+            .add(static_cast<uint64_t>(wl.graph.total_weight_elems()));
+      }
+      obs.finish("pimwl");
       return 0;
     }
 
     if (!args.get("--show").empty()) {
       const workload::WorkloadSpec spec = spec_from_token(args, args.get("--show"));
+      telemetry::HostSpan span(obs.sink(), build_tid, "build " + spec.label());
       const workload::BuiltWorkload wl = workload::build(spec, /*init_params=*/false);
+      span.close();
       std::printf("workload %s (kind %s)\n", spec.label().c_str(),
                   workload::kind_name(spec.kind));
       std::printf("  layers        %zu\n", wl.graph.size());
@@ -97,6 +113,7 @@ int main(int argc, char** argv) {
       std::printf("  MACs/infer    %lld\n", static_cast<long long>(wl.graph.total_macs()));
       std::printf("  fingerprint   %016llx\n",
                   static_cast<unsigned long long>(spec.fingerprint()));
+      obs.finish("pimwl");
       return 0;
     }
 
