@@ -1,6 +1,7 @@
 #include "arch/chip.h"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <stdexcept>
 
@@ -100,6 +101,10 @@ RunStats Chip::run() {
 
   sim::Time limit = sim::kTimeMax;
   if (cfg_.sim.max_time_ps > 0) limit = cfg_.sim.max_time_ps;
+  if (cfg_.sim.max_wall_ms > 0) {
+    kernel_.arm_wall_watchdog(std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(cfg_.sim.max_wall_ms));
+  }
   kernel_.run(limit);
 
   stats_.kernel_events = kernel_.events_executed();
@@ -114,6 +119,8 @@ RunStats Chip::run() {
   if (owned_trace_) owned_trace_->write(cfg_.sim.trace_file);
   return stats_;
 }
+
+bool Chip::wall_expired() const { return kernel_.wall_expired(); }
 
 bool Chip::finished() const {
   return std::all_of(cores_.begin(), cores_.end(), [](const std::unique_ptr<Core>& c) {

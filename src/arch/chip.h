@@ -43,6 +43,11 @@ class Chip {
   /// with !finished(), the program deadlocked or exceeded the time budget.
   bool finished() const;
 
+  /// True when run() was abandoned by the wall-clock watchdog
+  /// (SimSettings.max_wall_ms) rather than finishing or exhausting the
+  /// simulated-time budget.
+  bool wall_expired() const;
+
   // -- functional global memory ------------------------------------------------
   void write_global(uint64_t addr, std::span<const uint8_t> bytes);
   std::vector<uint8_t> read_global(uint64_t addr, size_t size) const;

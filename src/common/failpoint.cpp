@@ -1,0 +1,93 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace pim::testing {
+namespace {
+
+struct Site {
+  uint64_t from = 1;   // first failing hit, 1-based
+  uint64_t count = 1;  // number of consecutive failing hits
+  uint64_t hits = 0;   // hits observed so far
+};
+
+// `any_armed` is the happy-path gate: failpoint_hit() returns after one
+// relaxed load when no site is armed, so production runs never take the lock.
+std::atomic<bool> g_any_armed{false};
+std::mutex g_mutex;
+std::map<std::string, Site>& sites() {
+  static std::map<std::string, Site> m;
+  return m;
+}
+
+void parse_env_once() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    const char* env = std::getenv("PIMFAIL");
+    if (env != nullptr && env[0] != '\0' && !arm_from_spec(env)) {
+      PIM_LOG(Warn) << "failpoint: malformed PIMFAIL spec \"" << env << "\" ignored";
+    }
+  });
+}
+
+bool parse_u64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool failpoint_hit(const char* site) {
+  parse_env_once();
+  if (!g_any_armed.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = sites().find(site);
+  if (it == sites().end()) return false;
+  Site& s = it->second;
+  ++s.hits;
+  const bool fire = s.hits >= s.from && s.hits < s.from + s.count;
+  if (fire) {
+    PIM_LOG(Debug) << "failpoint: firing " << site << " (hit " << s.hits << ")";
+  }
+  return fire;
+}
+
+void arm_failpoint(const std::string& site, uint64_t from, uint64_t count) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  sites()[site] = Site{from == 0 ? 1 : from, count, 0};
+  g_any_armed.store(true, std::memory_order_relaxed);
+}
+
+void clear_failpoints() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  sites().clear();
+  g_any_armed.store(false, std::memory_order_relaxed);
+}
+
+bool arm_from_spec(const std::string& spec) {
+  for (const std::string& part : split(spec, ',')) {
+    const std::string_view p = trim(part);
+    if (p.empty()) continue;
+    const std::vector<std::string> fields = split(p, ':');
+    if (fields.empty() || fields.size() > 3 || fields[0].empty()) return false;
+    uint64_t from = 1, count = 1;
+    if (fields.size() >= 2 && !parse_u64(fields[1], &from)) return false;
+    if (fields.size() == 3 && !parse_u64(fields[2], &count)) return false;
+    arm_failpoint(fields[0], from, count);
+  }
+  return true;
+}
+
+}  // namespace pim::testing

@@ -1,0 +1,51 @@
+// pim::testing — env-driven failpoints for crash/fault testing.
+//
+// A failpoint is a named site in production code that can be told to fail on
+// demand. Sites are compiled in permanently but cost one relaxed atomic load
+// when nothing is armed, so they are free on the happy path (the bench_diff
+// CI bar keeps that honest).
+//
+// Arming, from the environment (what the crash-recovery CI scripts use):
+//
+//   PIMFAIL=cache_write           # fail the 1st hit of "cache_write"
+//   PIMFAIL=cache_write:3         # fail the 3rd hit
+//   PIMFAIL=cache_write:3:2       # fail hits 3 and 4
+//   PIMFAIL=cache_write:1:999,journal_crash:2   # several sites at once
+//
+// or programmatically from a test: arm_failpoint("cache_write", 3, 2).
+// What "fail" means is the call site's business — throw, truncate a write,
+// raise(SIGKILL) — the hook only answers "should this hit fail?".
+//
+// Known sites (grep for failpoint_hit to audit):
+//   cache_write        ResultCache::store — the entry write throws
+//   cache_truncate     ResultCache::store — entry lands truncated on disk
+//   journal_crash      journal::Journal::append — partial line + SIGKILL
+//   graph_resolve      BatchRunner prefetch — transient graph-read failure
+//   scenario_transient BatchRunner::run_one — transient simulate failure
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pim::testing {
+
+/// True when `site` is armed and this hit (1-based, counted per process)
+/// falls in the armed window. Thread-safe; the not-armed fast path is one
+/// relaxed atomic load.
+bool failpoint_hit(const char* site);
+
+/// Arm `site` to fail hits [from, from + count). Overrides any earlier
+/// arming of the same site and resets its hit counter.
+void arm_failpoint(const std::string& site, uint64_t from = 1, uint64_t count = 1);
+
+/// Disarm every site and reset all hit counters (tests call this in
+/// SetUp/TearDown so armed failpoints never leak across cases).
+void clear_failpoints();
+
+/// Parse a PIMFAIL-style spec ("site[:from[:count]][,site...]") and arm the
+/// sites it names. Returns false (arming nothing further) on a malformed
+/// spec. The environment variable is parsed automatically on first use, so
+/// tools never need to call this.
+bool arm_from_spec(const std::string& spec);
+
+}  // namespace pim::testing

@@ -1,0 +1,189 @@
+#include "common/journal.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace pim::journal {
+namespace {
+
+constexpr const char* kMagic = "pim-journal-v1";
+
+std::string encode_line(const std::string& payload) {
+  return strformat("%016llx", static_cast<unsigned long long>(fnv1a64(payload))) + " " +
+         payload + "\n";
+}
+
+/// Checksum-validate one line (without its trailing newline). Returns the
+/// payload via `out`; false on any malformation.
+bool decode_line(std::string_view line, std::string* out) {
+  if (line.size() < 18 || line[16] != ' ') return false;
+  uint64_t sum = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    const char c = line[i];
+    uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    sum = (sum << 4) | digit;
+  }
+  const std::string_view payload = line.substr(17);
+  if (fnv1a64(payload) != sum) return false;
+  out->assign(payload);
+  return true;
+}
+
+void fsync_file(std::FILE* f) {
+  if (std::fflush(f) != 0) throw std::runtime_error("journal: fflush failed");
+#ifndef _WIN32
+  if (::fsync(fileno(f)) != 0) throw std::runtime_error("journal: fsync failed");
+#endif
+}
+
+}  // namespace
+
+Journal::~Journal() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; a failed final flush was already the
+    // caller's loss-window risk.
+  }
+}
+
+size_t Journal::open(const std::string& path, const std::string& fingerprint,
+                     const std::function<void(const json::Value&)>& replay) {
+  if (is_open()) throw std::runtime_error("journal: already open");
+  path_ = path;
+  replayed_ = 0;
+  discarded_ = 0;
+
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      contents = ss.str();
+    }
+  }
+
+  // Walk intact lines from the front; the first bad checksum / partial line
+  // marks the crash point — everything from there on is truncated away.
+  size_t valid_bytes = 0;
+  bool saw_header = false;
+  std::vector<json::Value> records;
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    const size_t nl = contents.find('\n', pos);
+    if (nl == std::string::npos) break;  // partial final line: crash tail
+    std::string payload;
+    if (!decode_line(std::string_view(contents).substr(pos, nl - pos), &payload)) break;
+    json::Value v;
+    try {
+      v = json::parse(payload);
+    } catch (const std::exception&) {
+      break;
+    }
+    if (!saw_header) {
+      if (v.get_or("magic", "") != kMagic) {
+        throw std::runtime_error("journal: " + path + " is not a journal file");
+      }
+      if (v.get_or("fingerprint", "") != fingerprint) {
+        throw std::runtime_error(
+            "journal: " + path + " belongs to a different run (fingerprint mismatch) — " +
+            "refusing to resume from it");
+      }
+      saw_header = true;
+    } else {
+      records.push_back(std::move(v));
+    }
+    pos = nl + 1;
+    valid_bytes = pos;
+  }
+  if (valid_bytes < contents.size()) {
+    // Count what we drop so tools can report it; a bad middle line condemns
+    // the rest of the file (append-only: later offsets are suspect).
+    for (size_t p = valid_bytes; p < contents.size();) {
+      ++discarded_;
+      const size_t nl = contents.find('\n', p);
+      if (nl == std::string::npos) break;
+      p = nl + 1;
+    }
+    PIM_LOG(Warn) << "journal: " << path << ": discarding " << discarded_
+                  << " corrupt/partial trailing line" << (discarded_ == 1 ? "" : "s");
+    std::filesystem::resize_file(path, valid_bytes);
+  }
+
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw std::runtime_error("journal: cannot open " + path + " for append: " +
+                             std::strerror(errno));
+  }
+  if (!saw_header) {
+    json::Value header;
+    header["magic"] = json::Value(kMagic);
+    header["fingerprint"] = json::Value(fingerprint);
+    const std::string line = encode_line(header.dump());
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+      throw std::runtime_error("journal: cannot write header to " + path);
+    }
+    fsync_file(file_);
+  }
+  for (const json::Value& v : records) {
+    if (replay) replay(v);
+    ++replayed_;
+  }
+  return replayed_;
+}
+
+void Journal::append(const json::Value& record) {
+  if (!is_open()) throw std::runtime_error("journal: append on closed journal");
+  const std::string line = encode_line(record.dump());
+  if (testing::failpoint_hit("journal_crash")) {
+    // Simulate a kill -9 mid-append: half the line reaches the disk, then
+    // the process dies without unwinding. open() must truncate this tail.
+    std::fwrite(line.data(), 1, line.size() / 2, file_);
+    std::fflush(file_);
+#ifndef _WIN32
+    ::fsync(fileno(file_));
+    ::raise(SIGKILL);
+#else
+    std::abort();
+#endif
+  }
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    throw std::runtime_error("journal: write to " + path_ + " failed");
+  }
+}
+
+void Journal::flush() {
+  if (!is_open()) return;
+  fsync_file(file_);
+}
+
+void Journal::close() {
+  if (!is_open()) return;
+  fsync_file(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+}  // namespace pim::journal

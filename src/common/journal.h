@@ -1,0 +1,73 @@
+// pim::journal — append-only, checksummed, crash-tolerant record log.
+//
+// The durability primitive behind `pimdse --resume` and `pimbatch --resume`:
+// every completed unit of work is appended as one line, fsync'd per batch,
+// so a `kill -9` loses at most the in-flight batch and a rerun replays the
+// journal instead of re-simulating.
+//
+// File format — line-oriented so a truncated tail is always detectable:
+//
+//   <fnv1a64 of payload, 16 hex digits> <payload: compact JSON, no newlines>\n
+//
+// The first line's payload is a header record {"magic": "...", "fingerprint":
+// "..."}: open() refuses to resume a journal whose fingerprint does not match
+// the caller's (a journal from a *different* exploration must never splice
+// into this one). Lines whose checksum fails, and a partial final line (the
+// crash case), are discarded by truncating the file back to the last intact
+// record — recovery is replay-then-append, never in-place repair.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "json/json.h"
+
+namespace pim::journal {
+
+/// One append-only journal file. Not thread-safe — callers serialize appends
+/// (the explore loop and pimbatch both append from one thread).
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Open `path` for append, creating it (with a header carrying
+  /// `fingerprint`) when absent or empty. When the file already has records,
+  /// the header fingerprint must match — a mismatch throws, since replaying
+  /// another run's journal would corrupt this one's results. Every intact
+  /// record is handed to `replay` (skipping the header), corrupt or partial
+  /// trailing lines are truncated away, and the journal is left positioned
+  /// for append. Returns the number of records replayed.
+  size_t open(const std::string& path, const std::string& fingerprint,
+              const std::function<void(const json::Value&)>& replay);
+
+  /// Append one record (serialized compact, must survive a round-trip
+  /// through json::parse). Throws on I/O failure. Not durable until flush().
+  void append(const json::Value& record);
+
+  /// Push appended records to disk (fflush + fsync). Call once per completed
+  /// batch: the fsync is what bounds the loss window to one batch.
+  void flush();
+
+  /// Flush and close; further appends are invalid. Called by the destructor.
+  void close();
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+  /// Records replayed by open() (the resume count, excluding the header).
+  size_t replayed() const { return replayed_; }
+  /// Corrupt/partial trailing lines discarded by open().
+  size_t discarded() const { return discarded_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  size_t replayed_ = 0;
+  size_t discarded_ = 0;
+};
+
+}  // namespace pim::journal

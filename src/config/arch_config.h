@@ -120,6 +120,12 @@ struct SimSettings {
   /// ps-granular; the JSON schema also accepts the legacy "max_time_ms"
   /// key as a parsed alias (converted, saturating, to picoseconds).
   uint64_t max_time_ps = 0;
+  /// Wall-clock budget in milliseconds for one simulation; 0 = unlimited.
+  /// Runtime-only and deliberately *not* serialized by to_json/from_json: a
+  /// machine-local watchdog setting must never enter the DSE cache key (it
+  /// would fragment shared caches across hosts), and a wall-timed-out run is
+  /// never a cacheable result anyway.
+  uint64_t max_wall_ms = 0;
   bool functional = true;           ///< move/compute real data, not just timing
   bool collect_unit_stats = true;   ///< per-unit busy-time accounting
   std::string trace_file;           ///< optional instruction trace output

@@ -1,14 +1,77 @@
 #include "dse/cache.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 #include <vector>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
+
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/strings.h"
 
 namespace pim::dse {
+namespace {
+
+/// RAII advisory lock on `<dir>/.lock` — serializes eviction across
+/// processes sharing a cache directory. Advisory only: readers and entry
+/// writers never take it (atomic rename makes them safe without it); only
+/// trim() does, so two processes can't double-evict or delete entries out
+/// from under each other's directory scans. On platforms without flock the
+/// lock degrades to a no-op (single-process use stays correct).
+class DirLock {
+ public:
+  explicit DirLock(const std::string& dir) {
+#ifndef _WIN32
+    const std::string path = dir + "/.lock";
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+#else
+    (void)dir;
+#endif
+  }
+  ~DirLock() {
+#ifndef _WIN32
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+#endif
+  }
+  DirLock(const DirLock&) = delete;
+  DirLock& operator=(const DirLock&) = delete;
+
+ private:
+#ifndef _WIN32
+  int fd_ = -1;
+#endif
+};
+
+uint64_t process_id() {
+#ifndef _WIN32
+  return static_cast<uint64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+std::string checksum_hex(std::string_view payload) {
+  return strformat("%016llx", static_cast<unsigned long long>(fnv1a64(payload)));
+}
+
+}  // namespace
 
 uint64_t fnv1a64(std::string_view data) { return ::pim::fnv1a64(data); }
 
@@ -66,6 +129,10 @@ ResultCache::ResultCache(std::string dir, uint64_t max_bytes)
   }
 }
 
+void ResultCache::set_metrics(telemetry::Registry* m) {
+  quarantined_counter_ = m != nullptr ? &m->counter("dse.cache_quarantined") : nullptr;
+}
+
 uint64_t ResultCache::scan_bytes() const {
   uint64_t total = 0;
   std::error_code ec;
@@ -78,8 +145,11 @@ uint64_t ResultCache::scan_bytes() const {
 }
 
 void ResultCache::trim() {
-  // Oldest-first eviction: sort the entries by modification time (path as a
-  // deterministic tiebreaker) and delete from the front until the cap holds.
+  // Oldest-first eviction under the directory lock: concurrent processes
+  // sharing the cache serialize here, so the scan each one sorts is the scan
+  // it deletes from — no double-evictions, no evicting an entry another
+  // process just renamed into place after our scan would have missed it.
+  DirLock lock(dir_);
   struct Candidate {
     std::filesystem::file_time_type mtime;
     uint64_t size;
@@ -89,10 +159,21 @@ void ResultCache::trim() {
   uint64_t total = 0;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
-    if (!entry.is_regular_file() || entry.path().extension() != ".json") continue;
-    Candidate c{entry.last_write_time(ec), entry.file_size(ec), entry.path()};
-    total += c.size;
-    entries.push_back(std::move(c));
+    if (!entry.is_regular_file()) continue;
+    const std::filesystem::path& p = entry.path();
+    if (p.extension() == ".json") {
+      Candidate c{entry.last_write_time(ec), entry.file_size(ec), p};
+      total += c.size;
+      entries.push_back(std::move(c));
+      continue;
+    }
+    // Orphaned temp files (a writer died between write and rename) are junk
+    // once they are demonstrably stale; only the eviction path, already
+    // under the lock, cleans them up.
+    if (p.filename().string().find(".tmp") != std::string::npos) {
+      const auto age = std::filesystem::file_time_type::clock::now() - entry.last_write_time(ec);
+      if (age > std::chrono::minutes(15)) std::filesystem::remove(p, ec);
+    }
   }
   std::sort(entries.begin(), entries.end(), [](const Candidate& a, const Candidate& b) {
     return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
@@ -119,12 +200,46 @@ std::string ResultCache::entry_path(const std::string& key) const {
          ".json";
 }
 
-bool ResultCache::load(const std::string& key, EvaluatedPoint* out) const {
+void ResultCache::quarantine(const std::string& path, const std::string& why) {
+  // Move the corrupt entry aside rather than deleting it: the `.bad` file is
+  // evidence for debugging, is ignored by lookups and eviction scans (not
+  // `.json`), and renaming is atomic so concurrent readers see either the
+  // old entry or nothing — never a half-removed file.
+  std::error_code ec;
+  std::filesystem::rename(path, path + ".bad", ec);
+  if (ec) std::filesystem::remove(path, ec);
+  ++quarantined_;
+  if (quarantined_counter_ != nullptr) quarantined_counter_->add();
+  PIM_LOG(Warn) << "dse cache: quarantined corrupt entry " << path << " (" << why << ")";
+}
+
+bool ResultCache::load(const std::string& key, EvaluatedPoint* out) {
   if (!enabled()) return false;
   const std::string path = entry_path(key);
-  if (!std::filesystem::exists(path)) return false;
+  std::string contents;
+  {
+    // "Cannot open" is a plain miss, not corruption: a concurrent process
+    // may have evicted the entry between our hash and our read.
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    contents = ss.str();
+  }
   try {
-    const json::Value v = json::parse_file(path);
+    json::Value v = json::parse(contents);
+    if (v.contains("checksum")) {
+      // The checksum covers the entry as written minus the checksum field
+      // itself; dumps are deterministic, so re-serializing the parsed value
+      // reproduces the original payload byte for byte — unless the file was
+      // truncated or bit-flipped, in which case the parse already failed or
+      // the payload no longer matches.
+      const std::string want = v.get_or("checksum", "");
+      v.as_object().erase("checksum");
+      if (checksum_hex(v.dump(2)) != want) {
+        throw json::Error("payload checksum mismatch");
+      }
+    }
     if (v.get_or("key", "") != key) return false;  // hash collision -> miss
     // Entries written before the feasible flag existed default to true (only
     // feasible points were cached then).
@@ -134,7 +249,7 @@ bool ResultCache::load(const std::string& key, EvaluatedPoint* out) const {
     out->metrics = Metrics::from_json(v.at("metrics"));
     return true;
   } catch (const std::exception& e) {
-    PIM_LOG(Warn) << "dse cache: ignoring unreadable entry " << path << ": " << e.what();
+    quarantine(path, e.what());
     return false;
   }
 }
@@ -148,10 +263,31 @@ void ResultCache::store(const std::string& key, const EvaluatedPoint& p) {
   v["ok"] = json::Value(p.ok);
   if (!p.error.empty()) v["error"] = json::Value(p.error);
   v["metrics"] = p.metrics.to_json();
+  const std::string payload_sum = checksum_hex(v.dump(2));
+  v["checksum"] = json::Value(payload_sum);
   const std::string path = entry_path(key);
+  // Unique-per-process temp name + atomic rename: a reader (or the eviction
+  // scan, which only considers `.json` files) can never observe a partial
+  // entry, and a writer killed mid-write leaves only a stale temp file that
+  // trim() garbage-collects.
+  const std::string tmp = path + strformat(".tmp%llu", static_cast<unsigned long long>(process_id()));
   try {
-    json::write_file(path, v);
+    if (testing::failpoint_hit("cache_write")) {
+      throw std::runtime_error("failpoint cache_write");
+    }
+    if (testing::failpoint_hit("cache_truncate")) {
+      // Simulate a torn non-atomic write: half the entry lands at the final
+      // path. load() must quarantine it, never serve it.
+      const std::string text = v.dump(2);
+      std::ofstream f(path, std::ios::binary | std::ios::trunc);
+      f.write(text.data(), static_cast<std::streamsize>(text.size() / 2));
+      return;
+    }
+    json::write_file(tmp, v);
+    std::filesystem::rename(tmp, path);
   } catch (const std::exception& e) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
     PIM_LOG(Warn) << "dse cache: cannot write " << path << ": " << e.what();
     return;
   }

@@ -12,6 +12,21 @@
 // wrong result. Entries are immutable once written; the cache directory can
 // be deleted at any time.
 //
+// Durability (the cache is shared by concurrent pimdse processes):
+//
+//   * Writes are atomic: the entry is written to a `.tmp<pid>` sibling and
+//     renamed into place, so readers never observe a half-written file even
+//     if the writer dies mid-write.
+//   * Every entry carries an FNV-1a checksum of its own payload. An entry
+//     that fails the checksum (or does not parse) is *quarantined* — renamed
+//     to `<entry>.bad`, counted in `dse.cache_quarantined`, and treated as a
+//     miss so the point is recomputed; a corrupt cache degrades, it never
+//     poisons results. An entry that simply vanished (a concurrent process
+//     evicted it between lookup and read) is a plain miss, not corruption.
+//   * Size-cap eviction takes an advisory file lock (`<dir>/.lock`, flock)
+//     so N processes trimming the same directory never double-evict or
+//     delete entries out from under each other's scans.
+//
 // The cache is bounded: pass `max_bytes > 0` and the directory is trimmed
 // oldest-first (by file modification time) whenever the total entry size
 // exceeds the cap, so long-lived caches no longer grow without bound.
@@ -22,6 +37,7 @@
 #include <string_view>
 
 #include "dse/search_space.h"
+#include "telemetry/telemetry.h"
 
 namespace pim::dse {
 
@@ -68,27 +84,37 @@ class ResultCache {
   const std::string& dir() const { return dir_; }
   uint64_t max_bytes() const { return max_bytes_; }
 
+  /// Publish `dse.cache_quarantined` to `m` (nullable; call before load()s).
+  void set_metrics(telemetry::Registry* m);
+
   /// Entries evicted by this instance (size-cap trims), cumulative.
   size_t evicted() const { return evicted_; }
 
-  /// Look `key` up; on a hit fills feasible/ok/error/metrics of `out`
-  /// (leaving its point/label alone) and returns true.
-  bool load(const std::string& key, EvaluatedPoint* out) const;
+  /// Corrupt entries this instance renamed to `.bad`, cumulative.
+  size_t quarantined() const { return quarantined_; }
 
-  /// Persist one evaluated point under `key`, then enforce the size cap.
-  /// I/O failures are logged and swallowed — a broken cache must never fail
-  /// an exploration.
+  /// Look `key` up; on a hit fills feasible/ok/error/metrics of `out`
+  /// (leaving its point/label alone) and returns true. A corrupt entry is
+  /// quarantined (renamed to `.bad`) and reported as a miss.
+  bool load(const std::string& key, EvaluatedPoint* out);
+
+  /// Persist one evaluated point under `key` (atomically: temp file +
+  /// rename), then enforce the size cap. I/O failures are logged and
+  /// swallowed — a broken cache must never fail an exploration.
   void store(const std::string& key, const EvaluatedPoint& p);
 
  private:
   std::string entry_path(const std::string& key) const;
   uint64_t scan_bytes() const;
+  void quarantine(const std::string& path, const std::string& why);
   void trim();
 
   std::string dir_;
   uint64_t max_bytes_ = 0;
   uint64_t approx_bytes_ = 0;  // running estimate; trim() resyncs with disk
   size_t evicted_ = 0;
+  size_t quarantined_ = 0;
+  telemetry::Counter* quarantined_counter_ = nullptr;
 };
 
 }  // namespace pim::dse

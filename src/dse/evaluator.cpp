@@ -60,6 +60,10 @@ Evaluator::Evaluator(const SearchSpace& space, const EvalOptions& opts)
   runner_.set_artifacts(artifacts_);
   runner_.set_metrics(opts.metrics);
   runner_.set_trace(opts.trace);
+  runner_.set_scenario_timeout_ms(opts.scenario_timeout_ms);
+  runner_.set_retry(opts.max_retries, opts.retry_backoff_ms);
+  runner_.set_cancel(opts.cancel);
+  cache_.set_metrics(opts.metrics);
 }
 
 std::vector<EvaluatedPoint> Evaluator::evaluate(const std::vector<Point>& points) {
@@ -154,6 +158,13 @@ std::vector<EvaluatedPoint> Evaluator::evaluate(const std::vector<Point>& points
       ep.feasible = true;
       ep.ok = r.ok;
       ep.error = r.error;
+      if (r.fail_kind == runtime::FailKind::WallTimeout) {
+        // Killed by this machine's watchdog — says nothing durable about the
+        // point, so it is reported as a failure but never persisted: a rerun
+        // (or a faster host) must re-simulate it.
+        if (progress_) progress_(ep, ++resolved, points.size());
+        return;
+      }
       if (r.timed_out) {
         // The simulation hit the per-point budget (or deadlocked under it).
         // Report it like an infeasible corner: excluded from the frontier,
@@ -177,14 +188,21 @@ std::vector<EvaluatedPoint> Evaluator::evaluate(const std::vector<Point>& points
       cache_.store(keys[j], ep);
       if (progress_) progress_(ep, ++resolved, points.size());
     });
-    runner_.run(scenarios);
+    const runtime::BatchResult br = runner_.run(scenarios);
     runner_.set_progress(nullptr);
+    // Scenarios the cancelled run never started get no progress callback —
+    // mark their points skipped so the explore loop drops them (they were
+    // never simulated; keeping them as "failed" would poison a resume).
+    for (size_t j = 0; j < br.results.size(); ++j) {
+      if (br.results[j].skipped) out[to_run[j]].skipped = true;
+    }
   }
   for (const auto& [i, slot] : aliases) {
     const EvaluatedPoint& src = out[to_run[slot]];
     EvaluatedPoint& ep = out[i];  // keeps its own point/label
     ep.feasible = src.feasible;
     ep.ok = src.ok;
+    ep.skipped = src.skipped;
     ep.error = src.error;
     ep.metrics = src.metrics;
     ep.from_cache = true;  // served without a simulation of its own

@@ -49,6 +49,17 @@ struct EvalOptions {
   /// Trace sink threaded to every simulation this evaluator runs; null =
   /// off. Must outlive the evaluator.
   telemetry::TraceSink* trace = nullptr;
+  /// Per-scenario wall-clock watchdog in ms (0 = off). Machine-dependent by
+  /// nature, so it is runtime-only: never part of the cache key, and a
+  /// watchdog-killed point is never cached (rerunning on a faster host must
+  /// re-simulate it).
+  uint64_t scenario_timeout_ms = 0;
+  /// Bounded retry for transient per-point failures (BatchRunner policy).
+  unsigned max_retries = 0;
+  unsigned retry_backoff_ms = 10;
+  /// Cooperative cancellation flag (SIGINT): in-flight points drain, queued
+  /// ones come back with EvaluatedPoint::skipped. Must outlive the evaluator.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Cap `scenario`'s simulated-time budget at `max_time_ps` (no-op when 0;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 
+#include "common/journal.h"
 #include "common/strings.h"
+#include "dse/cache.h"
 #include "dse/pareto.h"
 #include "stats/report.h"
 
@@ -32,8 +35,40 @@ size_t ExploreResult::failed_count() const {
                     [](const EvaluatedPoint& p) { return p.feasible && !p.ok; }));
 }
 
+std::string exploration_fingerprint(const SearchSpace& space, const ExploreOptions& opts) {
+  json::Value f;
+  f["space"] = json::Value(space.name);
+  f["base"] = space.base.to_json();
+  // The workload contributes its *content* fingerprint: editing a graph
+  // description file makes an old journal unusable, exactly like the result
+  // cache's key discipline.
+  f["workload"] = json::Value(strformat(
+      "%016llx", static_cast<unsigned long long>(space.workload.fingerprint())));
+  f["functional"] = json::Value(space.functional);
+  f["input_seed"] = json::Value(space.input_seed);
+  json::Value knobs;
+  for (const Knob& k : space.knobs) {
+    json::Array vals(k.values.begin(), k.values.end());
+    knobs[k.name] = json::Value(std::move(vals));
+  }
+  f["knobs"] = std::move(knobs);
+  json::Array objs;
+  for (const std::string& o : space.objectives) objs.push_back(json::Value(o));
+  f["objectives"] = json::Value(std::move(objs));
+  json::Array cons;
+  for (const Constraint& c : space.constraints) cons.push_back(json::Value(c.text));
+  f["constraints"] = json::Value(std::move(cons));
+  f["sampler"] = json::Value(opts.sampler);
+  f["seed"] = json::Value(opts.seed);
+  f["population"] = json::Value(opts.population);
+  f["generations"] = json::Value(opts.generations);
+  f["max_point_time_ps"] = json::Value(opts.max_point_time_ps);
+  return strformat("%016llx", static_cast<unsigned long long>(fnv1a64(f.dump())));
+}
+
 json::Value ExploreResult::to_json() const {
   json::Value v;
+  if (interrupted) v["interrupted"] = json::Value(true);
   v["space"] = json::Value(space_name);
   v["sampler"] = json::Value(sampler);
   json::Array objs;
@@ -134,19 +169,87 @@ ExploreResult explore(const SearchSpace& space, const ExploreOptions& opts) {
   eopts.artifacts = opts.artifacts;
   eopts.metrics = opts.metrics;
   eopts.trace = opts.trace;
+  eopts.scenario_timeout_ms = opts.scenario_timeout_ms;
+  eopts.max_retries = opts.max_retries;
+  eopts.retry_backoff_ms = opts.retry_backoff_ms;
+  eopts.cancel = opts.cancel;
   Evaluator evaluator(space, eopts);
   if (opts.progress) evaluator.set_progress(opts.progress);
   res.jobs = evaluator.jobs();
   const artifact::StoreStats artifacts_before = evaluator.artifact_stats();
 
+  // Crash-safety sidecar. Resume works by *replay*, not by skipping ahead:
+  // the sampler re-proposes the exact same stream (same seed, same accepted
+  // history), and points the journal already holds are served from it
+  // instead of re-simulated — so the finished output is byte-identical to an
+  // uninterrupted run, and the sampler's internal RNG state ends up exactly
+  // where it would have.
+  journal::Journal jrnl;
+  std::map<std::string, EvaluatedPoint> journaled;  // point_key -> replayed result
+  if (!opts.journal_path.empty()) {
+    jrnl.open(opts.journal_path, exploration_fingerprint(space, opts),
+              [&journaled](const json::Value& rec) {
+                EvaluatedPoint ep = EvaluatedPoint::from_json(rec);
+                std::string key = point_key(ep.point);
+                journaled.emplace(std::move(key), std::move(ep));
+              });
+    res.journal_replayed = jrnl.replayed();
+    res.journal_discarded = jrnl.discarded();
+  }
+
+  const auto cancelled = [&opts] {
+    return opts.cancel != nullptr && opts.cancel->load(std::memory_order_relaxed);
+  };
+
   while (res.points.size() < opts.budget) {
+    if (cancelled()) {
+      res.interrupted = true;
+      break;
+    }
     const size_t remaining = opts.budget - res.points.size();
     const size_t ask = std::min(remaining, sampler->generation_size());
     std::vector<Point> proposed = sampler->propose(ask, res.points);
     if (proposed.empty()) break;  // space exhausted
-    std::vector<EvaluatedPoint> evaluated = evaluator.evaluate(proposed);
-    res.points.insert(res.points.end(), std::make_move_iterator(evaluated.begin()),
-                      std::make_move_iterator(evaluated.end()));
+
+    // Serve journaled points in place; evaluate only the rest. The batch is
+    // reassembled in proposed order, so output order matches an
+    // uninterrupted run no matter how the journal split it.
+    std::vector<EvaluatedPoint> evaluated(proposed.size());
+    std::vector<Point> need;
+    std::vector<size_t> need_idx;
+    for (size_t i = 0; i < proposed.size(); ++i) {
+      const auto it = journaled.find(point_key(proposed[i]));
+      if (it != journaled.end()) {
+        evaluated[i] = it->second;
+        evaluated[i].from_cache = true;  // served without a simulation
+      } else {
+        need_idx.push_back(i);
+        need.push_back(proposed[i]);
+      }
+    }
+    if (!need.empty()) {
+      std::vector<EvaluatedPoint> fresh = evaluator.evaluate(need);
+      for (size_t j = 0; j < fresh.size(); ++j) {
+        // Freshly completed (not cancelled-and-skipped) points are the only
+        // thing worth journaling — replayed ones are already on disk.
+        if (jrnl.is_open() && !fresh[j].skipped) jrnl.append(fresh[j].to_json());
+        evaluated[need_idx[j]] = std::move(fresh[j]);
+      }
+      if (jrnl.is_open()) jrnl.flush();  // one fsync per batch bounds the loss window
+    }
+
+    bool batch_interrupted = false;
+    for (EvaluatedPoint& ep : evaluated) {
+      if (ep.skipped) {
+        batch_interrupted = true;  // cancelled mid-batch; drop unstarted points
+        continue;
+      }
+      res.points.push_back(std::move(ep));
+    }
+    if (batch_interrupted || cancelled()) {
+      res.interrupted = cancelled() || batch_interrupted;
+      break;
+    }
   }
   res.constraints_skipped = sampler->constraint_skips();
   if (opts.metrics != nullptr) {

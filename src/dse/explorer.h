@@ -2,6 +2,7 @@
 // reporting. This is the programmatic face of the `pimdse` CLI.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -30,7 +31,35 @@ struct ExploreOptions {
   telemetry::Registry* metrics = nullptr;
   /// Trace sink threaded to every simulation of the exploration; null = off.
   telemetry::TraceSink* trace = nullptr;
+  /// Sidecar journal for crash-safe exploration (empty = off): every freshly
+  /// evaluated batch is appended as checksummed records and fsync'd, so a
+  /// kill -9 loses at most the in-flight batch. Opening a path that already
+  /// holds a journal *resumes* it: journaled points are served without
+  /// re-simulation, and because samplers re-propose deterministically, the
+  /// finished result is byte-identical to an uninterrupted run. The journal
+  /// must belong to this exploration (see exploration_fingerprint) — a
+  /// mismatch throws rather than splicing foreign results.
+  std::string journal_path;
+  /// Cooperative cancellation (SIGINT): when `*cancel` becomes true,
+  /// in-flight points drain, the journal stays valid, and the partial result
+  /// comes back with interrupted = true. Must outlive explore().
+  const std::atomic<bool>* cancel = nullptr;
+  /// Per-point wall-clock watchdog in ms (0 = off). Runtime-only: never in
+  /// the cache key, and watchdog-killed points are never cached.
+  uint64_t scenario_timeout_ms = 0;
+  /// Bounded retry-with-backoff for transient point failures.
+  unsigned max_retries = 0;
+  unsigned retry_backoff_ms = 10;
 };
+
+/// Identity of one exploration for journal matching: a stable hash over
+/// everything that determines the point-result stream — the space (base
+/// config, workload content, knobs, objectives, constraints) and the sampler
+/// settings (kind, seed, population, generations, per-point time budget).
+/// The budget is deliberately excluded, so a finished journal can seed a
+/// *larger* rerun of the same exploration. jobs/cache/observability are
+/// excluded too: they never change results.
+std::string exploration_fingerprint(const SearchSpace& space, const ExploreOptions& opts);
 
 struct ExploreResult {
   std::string space_name;
@@ -50,6 +79,16 @@ struct ExploreResult {
   artifact::StoreStats artifacts;
   unsigned jobs = 1;
   double wall_ms = 0.0;                ///< host wall-clock of the exploration
+  /// The exploration was cancelled (ExploreOptions::cancel) before spending
+  /// its budget; `points` holds every completed point. Serialized as
+  /// "interrupted": true — and only when set, so finished runs (resumed or
+  /// not) stay byte-identical.
+  bool interrupted = false;
+  /// Points served from the journal / corrupt journal lines discarded, for
+  /// reporting. Not serialized: a resumed run's JSON must equal an
+  /// uninterrupted run's.
+  size_t journal_replayed = 0;
+  size_t journal_discarded = 0;
 
   size_t infeasible_count() const;
   size_t failed_count() const;

@@ -75,17 +75,35 @@ size_t mutated_index(size_t cur, size_t card, std::mt19937_64& rng) {
 
 void Sampler::fill_with_random(std::vector<Point>* out, size_t max_points,
                                std::mt19937_64& rng, std::set<std::string>& seen) {
-  size_t rejections = 0;
-  const size_t max_rejections = 64 * max_points + 1024;
-  while (out->size() < max_points && rejections < max_rejections) {
+  // Two separate bail-out budgets, because the two rejection causes mean
+  // different things. Duplicate draws signal a plausibly exhausted space, so
+  // a budget proportional to the ask ends the round cleanly. Constraint
+  // rejections signal a sparse feasible region; they get the same 64Ki scan
+  // budget as the grid sampler, and burning through it deserves a warning —
+  // the exploration will stop with budget unspent, and without the counts
+  // that looks like a sampler bug rather than an over-constrained space.
+  static constexpr size_t kConstraintBudget = 64 * 1024;
+  const size_t max_duplicates = 64 * max_points + 1024;
+  size_t duplicates = 0;
+  size_t constraint_rejects = 0;
+  while (out->size() < max_points && duplicates < max_duplicates &&
+         constraint_rejects < kConstraintBudget) {
     Point p = uniform_random_point(space_, rng);
     if (!admissible(p)) {
-      ++rejections;
+      ++constraint_rejects;
     } else if (seen.insert(point_key(p)).second) {
       out->push_back(std::move(p));
     } else {
-      ++rejections;
+      ++duplicates;
+      ++duplicate_skips_;
     }
+  }
+  if (out->size() < max_points && constraint_rejects >= kConstraintBudget) {
+    PIM_LOG(Warn) << "sampler: random refill gave up after " << constraint_rejects
+                  << " constraint-infeasible draws (" << duplicates
+                  << " duplicates, " << out->size() << "/" << max_points
+                  << " points found) — the space's constraints leave a very "
+                     "sparse feasible region";
   }
 }
 

@@ -58,6 +58,12 @@ class Sampler {
   /// propose() calls; deterministic for a given (space, seed, history).
   size_t constraint_skips() const { return constraint_skips_; }
 
+  /// Random draws discarded because the point was already proposed (or in
+  /// the history) — the other rejection cause, kept separate from
+  /// constraint_skips() so "the space is nearly exhausted" and "the space
+  /// is over-constrained" stay distinguishable. Cumulative, deterministic.
+  size_t duplicate_skips() const { return duplicate_skips_; }
+
  protected:
   /// True when `p` satisfies the space's constraints; counts the rejects.
   bool admissible(const Point& p) {
@@ -68,13 +74,17 @@ class Sampler {
 
   /// Top `out` up to `max_points` with fresh admissible uniform-random
   /// points not in `seen` — the shared seed/refill loop of the random,
-  /// evolve and nsga2 samplers. Bails out after a bounded number of
-  /// duplicate/infeasible draws so a plausibly exhausted space terminates.
+  /// evolve and nsga2 samplers. Two independent bail-out budgets keep a
+  /// plausibly exhausted space (duplicate draws, budget scales with the ask)
+  /// and an over-constrained one (constraint rejections, fixed 64Ki scan
+  /// budget with a warning) terminating — with the two causes counted
+  /// separately (constraint_skips / duplicate_skips).
   void fill_with_random(std::vector<Point>* out, size_t max_points, std::mt19937_64& rng,
                         std::set<std::string>& seen);
 
   const SearchSpace& space_;
   size_t constraint_skips_ = 0;
+  size_t duplicate_skips_ = 0;
 };
 
 /// Tuning knobs beyond the space itself. `population` and `generations`

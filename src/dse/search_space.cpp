@@ -542,6 +542,19 @@ json::Value EvaluatedPoint::to_json() const {
   return v;
 }
 
+EvaluatedPoint EvaluatedPoint::from_json(const json::Value& v) {
+  EvaluatedPoint ep;
+  const json::Object& pt = v.at("point").as_object();
+  for (const auto& [k, val] : pt) ep.point[k] = val;
+  ep.label = v.get_or("label", "");
+  if (ep.label.empty()) ep.label = point_label(ep.point);
+  ep.feasible = v.get_or("feasible", false);
+  ep.ok = v.get_or("ok", false);
+  ep.error = v.get_or("error", "");
+  if (v.contains("metrics")) ep.metrics = Metrics::from_json(v.at("metrics"));
+  return ep;
+}
+
 // ---------------------------------------------------------------- SearchSpace
 
 uint64_t SearchSpace::grid_size() const {

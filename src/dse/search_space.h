@@ -145,6 +145,10 @@ struct EvaluatedPoint {
   bool feasible = false;
   bool ok = false;
   bool from_cache = false;    ///< served from the result cache (not in JSON)
+  /// The evaluation was cancelled before this point ran (not in JSON): the
+  /// point was never simulated, so it must not be journaled, cached, or
+  /// counted — an interrupted exploration simply drops it.
+  bool skipped = false;
   std::string error;
   Metrics metrics;
 
@@ -153,6 +157,12 @@ struct EvaluatedPoint {
 
   /// Deterministic dump: excludes from_cache and any host timing.
   json::Value to_json() const;
+
+  /// Inverse of to_json() (from_cache/skipped reset): what the exploration
+  /// journal replays. Metrics round-trip exactly — JSON doubles are written
+  /// with 17 significant digits — so a resumed run is byte-identical to an
+  /// uninterrupted one. Throws json::Error on a malformed record.
+  static EvaluatedPoint from_json(const json::Value& v);
 };
 
 /// A parsed search space.

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "compiler/mapping.h"
@@ -30,45 +31,114 @@ const char* policy_short(compiler::MappingPolicy p) {
 /// pass — run_one never touches the filesystem or builds a graph itself.
 struct ResolvedWorkload {
   artifact::GraphHandle handle;
-  std::string error;  ///< non-empty: the resolve threw; fail the scenario
+  std::string error;       ///< non-empty: the resolve threw; fail the scenario
+  bool transient = false;  ///< the resolve failure looked retryable
+};
+
+/// Heuristic transience test for plain exceptions: an unreadable or vanished
+/// file may come back (NFS blip, a concurrent process mid-rename); a parse
+/// or compile error will not.
+bool looks_transient(const std::string& msg) {
+  return msg.find("cannot open") != std::string::npos ||
+         msg.find("cannot read") != std::string::npos ||
+         msg.find("No such file") != std::string::npos;
+}
+
+/// Retry/watchdog knobs run() threads down to each attempt.
+struct RunPolicy {
+  uint64_t scenario_timeout_ms = 0;
+  unsigned max_retries = 0;
+  unsigned retry_backoff_ms = 10;
+  telemetry::Registry* metrics = nullptr;
 };
 
 ScenarioResult run_one(const Scenario& s, const ResolvedWorkload& wl, artifact::Store& store,
-                       telemetry::TraceSink* trace) {
+                       telemetry::TraceSink* trace, const RunPolicy& policy) {
   ScenarioResult r;
   r.name = s.name.empty() ? s.derive_name() : s.name;
   r.workload = s.workload.label();
   r.policy = policy_short(s.copts.policy);
   r.batch = std::max(1u, s.copts.batch);
   const Clock::time_point start = Clock::now();
-  try {
-    if (!wl.error.empty()) throw std::runtime_error(wl.error);
-    config::ArchConfig cfg = s.arch;
-    cfg.sim.functional = s.functional;
-    compiler::CompileOptions copts = s.copts;
-    copts.include_weights = s.functional;
-    const std::shared_ptr<const CompiledNetwork> net = store.program(wl.handle, cfg, copts);
-    nn::Tensor input;
-    const nn::Tensor* in_ptr = nullptr;
-    if (s.functional) {
-      input = nn::random_input(wl.handle.built->input_shape, s.input_seed);
-      in_ptr = &input;
+  for (unsigned attempt = 0;; ++attempt) {
+    bool transient = false;
+    try {
+      if (!wl.error.empty()) {
+        if (wl.transient) throw TransientError(wl.error);
+        throw std::runtime_error(wl.error);
+      }
+      if (testing::failpoint_hit("scenario_transient")) {
+        throw TransientError("failpoint scenario_transient");
+      }
+      config::ArchConfig cfg = s.arch;
+      cfg.sim.functional = s.functional;
+      cfg.sim.max_wall_ms = policy.scenario_timeout_ms;
+      compiler::CompileOptions copts = s.copts;
+      copts.include_weights = s.functional;
+      const std::shared_ptr<const CompiledNetwork> net = store.program(wl.handle, cfg, copts);
+      nn::Tensor input;
+      const nn::Tensor* in_ptr = nullptr;
+      if (s.functional) {
+        input = nn::random_input(wl.handle.built->input_shape, s.input_seed);
+        in_ptr = &input;
+      }
+      r.report = simulate_compiled(*net, cfg, in_ptr, trace);
+      r.ok = r.report.finished;
+      r.error.clear();
+      r.fail_kind = FailKind::None;
+      if (!r.ok) {
+        if (r.report.wall_timed_out) {
+          // Killed by the host-side watchdog: a property of this machine and
+          // this moment, never of the architecture point — callers must not
+          // cache it. Not transient either: rerunning would spend another
+          // full timeout.
+          r.fail_kind = FailKind::WallTimeout;
+          r.error = strformat("wall-clock watchdog expired after %llu ms",
+                              static_cast<unsigned long long>(policy.scenario_timeout_ms));
+          if (policy.metrics != nullptr) policy.metrics->counter("batch.watchdog_kills").add();
+        } else {
+          r.timed_out = cfg.sim.max_time_ps > 0;
+          r.fail_kind = FailKind::SimTimeout;
+          r.error = "simulation did not finish (deadlock or time limit)";
+        }
+      }
+    } catch (const TransientError& e) {
+      r.ok = false;
+      r.error = e.what();
+      r.fail_kind = FailKind::Exception;
+      transient = true;
+    } catch (const std::exception& e) {
+      r.ok = false;
+      r.error = e.what();
+      r.fail_kind = FailKind::Exception;
+      transient = looks_transient(e.what());
     }
-    r.report = simulate_compiled(*net, cfg, in_ptr, trace);
-    r.ok = r.report.finished;
-    if (!r.ok) {
-      r.timed_out = cfg.sim.max_time_ps > 0;
-      r.error = "simulation did not finish (deadlock or time limit)";
-    }
-  } catch (const std::exception& e) {
-    r.ok = false;
-    r.error = e.what();
+    if (r.ok || !transient || attempt >= policy.max_retries) break;
+    // Exponential backoff between attempts; 10 ms << 3 tops out well under a
+    // scenario's own runtime, so retries never dominate the batch.
+    const auto delay = std::chrono::milliseconds(
+        static_cast<uint64_t>(policy.retry_backoff_ms) << std::min(attempt, 6u));
+    std::this_thread::sleep_for(delay);
+    ++r.retries;
+    if (policy.metrics != nullptr) policy.metrics->counter("batch.retries").add();
+    PIM_LOG(Warn) << "batch: retrying " << r.name << " after transient failure (attempt "
+                  << (attempt + 2) << "): " << r.error;
   }
   r.wall_ms = ms_since(start);
   return r;
 }
 
 }  // namespace
+
+const char* fail_kind_name(FailKind k) {
+  switch (k) {
+    case FailKind::None: return "none";
+    case FailKind::Exception: return "exception";
+    case FailKind::SimTimeout: return "sim_timeout";
+    case FailKind::WallTimeout: return "wall_timeout";
+  }
+  return "none";
+}
 
 std::string Scenario::derive_name() const {
   std::string n = strformat("%s/%s/b%u", workload.label().c_str(), policy_short(copts.policy),
@@ -85,9 +155,12 @@ json::Value ScenarioResult::to_json() const {
   v["batch"] = json::Value(batch);
   v["ok"] = json::Value(ok);
   v["wall_ms"] = json::Value(wall_ms);
+  if (retries > 0) v["retries"] = json::Value(retries);
   if (!ok) {
     v["error"] = json::Value(error);
     v["timed_out"] = json::Value(timed_out);
+    if (fail_kind != FailKind::None) v["fail_kind"] = json::Value(fail_kind_name(fail_kind));
+    if (skipped) v["skipped"] = json::Value(true);
     return v;
   }
   v["latency_ms"] = json::Value(report.latency_ms());
@@ -144,6 +217,7 @@ std::string BatchResult::markdown() const {
 
 json::Value BatchResult::to_json() const {
   json::Value v;
+  if (interrupted) v["interrupted"] = json::Value(true);
   v["jobs"] = json::Value(jobs);
   v["wall_ms"] = json::Value(wall_ms);
   v["serial_ms"] = json::Value(serial_ms());
@@ -198,10 +272,32 @@ BatchResult BatchRunner::run(const std::vector<Scenario>& scenarios) const {
       resolved[i] = resolved[same];
       continue;
     }
-    try {
-      resolved[i].handle = store->graph(s.workload, /*init_params=*/s.functional);
-    } catch (const std::exception& e) {
-      resolved[i].error = e.what();
+    // Transient resolve failures (vanished graph file, unreadable mount) get
+    // the same bounded retry as scenarios; a deterministic parse error fails
+    // immediately and run_one reports it per scenario.
+    for (unsigned attempt = 0;; ++attempt) {
+      try {
+        if (testing::failpoint_hit("graph_resolve")) {
+          throw TransientError("failpoint graph_resolve");
+        }
+        resolved[i].handle = store->graph(s.workload, /*init_params=*/s.functional);
+        resolved[i].error.clear();
+        resolved[i].transient = false;
+      } catch (const TransientError& e) {
+        resolved[i].error = e.what();
+        resolved[i].transient = true;
+      } catch (const std::exception& e) {
+        resolved[i].error = e.what();
+        resolved[i].transient = looks_transient(e.what());
+      }
+      if (resolved[i].error.empty() || !resolved[i].transient || attempt >= max_retries_) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<uint64_t>(retry_backoff_ms_) << std::min(attempt, 6u)));
+      if (metrics_ != nullptr) metrics_->counter("batch.retries").add();
+      PIM_LOG(Warn) << "batch: retrying workload resolve for "
+                    << (s.name.empty() ? s.derive_name() : s.name)
+                    << " after transient failure (attempt " << (attempt + 2)
+                    << "): " << resolved[i].error;
     }
   }
 
@@ -217,11 +313,21 @@ BatchResult BatchRunner::run(const std::vector<Scenario>& scenarios) const {
     }
   }
 
+  RunPolicy policy;
+  policy.scenario_timeout_ms = scenario_timeout_ms_;
+  policy.max_retries = max_retries_;
+  policy.retry_backoff_ms = retry_backoff_ms_;
+  policy.metrics = metrics_;
+
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
   std::mutex progress_mutex;
   auto worker = [&](unsigned wt) {
     for (;;) {
+      // Cancellation drains, it does not abort: the scenario a worker is on
+      // finishes normally (its result stays valid); only *unclaimed*
+      // scenarios are skipped.
+      if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) return;
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= scenarios.size()) return;
       {
@@ -229,7 +335,7 @@ BatchResult BatchRunner::run(const std::vector<Scenario>& scenarios) const {
         telemetry::HostSpan span(trace_, trace_ != nullptr ? worker_tids[wt] : 0,
                                  s.name.empty() ? s.derive_name() : s.name);
         // Distinct slots: no lock needed for the write itself.
-        batch.results[i] = run_one(s, resolved[i], *store, trace_);
+        batch.results[i] = run_one(s, resolved[i], *store, trace_, policy);
       }
       const size_t completed = done.fetch_add(1, std::memory_order_acq_rel) + 1;
       if (metrics_ != nullptr) {
@@ -254,6 +360,25 @@ BatchResult BatchRunner::run(const std::vector<Scenario>& scenarios) const {
     pool.reserve(batch.jobs);
     for (unsigned t = 0; t < batch.jobs; ++t) pool.emplace_back(worker, t);
     for (std::thread& t : pool) t.join();
+  }
+
+  // Slots no worker claimed (cancelled run) still get their identity filled
+  // so summaries and by-name matching stay coherent; skipped marks them as
+  // never-ran rather than failed.
+  if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+    batch.interrupted = true;
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+      ScenarioResult& r = batch.results[i];
+      if (!r.name.empty() || r.wall_ms > 0.0) continue;  // ran (or is running's result)
+      const Scenario& s = scenarios[i];
+      r.name = s.name.empty() ? s.derive_name() : s.name;
+      r.workload = s.workload.label();
+      r.policy = policy_short(s.copts.policy);
+      r.batch = std::max(1u, s.copts.batch);
+      r.ok = false;
+      r.skipped = true;
+      r.error = "skipped: batch cancelled before this scenario started";
+    }
   }
 
   batch.wall_ms = ms_since(start);

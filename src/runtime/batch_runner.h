@@ -10,9 +10,11 @@
 // of the same scenario list.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,24 @@ struct Scenario {
   std::string derive_name() const;
 };
 
+/// A failure the thrower believes is worth retrying (a vanished file, a
+/// momentarily unreadable resource). BatchRunner's bounded retry policy only
+/// re-attempts these — a deterministic compile error would fail identically
+/// every time, so it is never retried.
+class TransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Structured cause of a scenario failure, alongside the free-text `error`.
+enum class FailKind {
+  None,        ///< ok, or skipped before it ever ran (cancelled batch)
+  Exception,   ///< compile/simulate threw (after any retries)
+  SimTimeout,  ///< simulated-time budget (SimSettings.max_time_ps) expired
+  WallTimeout, ///< wall-clock watchdog (scenario timeout) killed the run
+};
+const char* fail_kind_name(FailKind k);
+
 /// Outcome of one scenario. `ok == false` means the compile or simulation
 /// threw; `error` holds the message and `report` is default-constructed.
 struct ScenarioResult {
@@ -60,6 +80,12 @@ struct ScenarioResult {
   /// was active and the simulation stopped before all cores halted
   /// (indistinguishable from a deadlock under a budget).
   bool timed_out = false;
+  FailKind fail_kind = FailKind::None;
+  /// The batch was cancelled before this scenario started; it never ran
+  /// (ok == false, report empty). In-flight scenarios at cancel time drain
+  /// to completion and are *not* skipped.
+  bool skipped = false;
+  unsigned retries = 0;          ///< attempts beyond the first (transient failures)
   std::string error;
   Report report;
   double wall_ms = 0.0;          ///< host wall-clock spent on this scenario
@@ -72,6 +98,9 @@ struct BatchResult {
   std::vector<ScenarioResult> results;  ///< same order as the input scenarios
   unsigned jobs = 1;
   double wall_ms = 0.0;                 ///< end-to-end host wall-clock
+  /// Cancellation was requested mid-run: some results are skipped.
+  /// Serialized only when true, so existing batch JSON stays byte-identical.
+  bool interrupted = false;
   /// Artifact-store activity of this run (a delta when the runner shares a
   /// store across runs): graph/program cache hits, misses, evictions.
   artifact::StoreStats artifacts;
@@ -116,6 +145,28 @@ class BatchRunner {
   /// store delta. Null (the default) disables.
   void set_metrics(telemetry::Registry* registry) { metrics_ = registry; }
 
+  /// Per-scenario wall-clock watchdog (0 = off, the default): a scenario
+  /// whose simulation holds a worker longer than `ms` is abandoned and fails
+  /// with FailKind::WallTimeout (counted as `batch.watchdog_kills`). This is
+  /// host-machine-dependent — results killed by the watchdog must never be
+  /// treated as properties of the architecture point.
+  void set_scenario_timeout_ms(uint64_t ms) { scenario_timeout_ms_ = ms; }
+
+  /// Bounded retry for transient failures (a TransientError, or an I/O error
+  /// that reads like a vanished/unreadable file): up to `max_retries` extra
+  /// attempts, sleeping `backoff_ms << attempt` between them. Retries are
+  /// counted per scenario and as `batch.retries`. Default: no retries.
+  void set_retry(unsigned max_retries, unsigned backoff_ms = 10) {
+    max_retries_ = max_retries;
+    retry_backoff_ms_ = backoff_ms;
+  }
+
+  /// Cooperative cancellation (e.g. a SIGINT flag): once `*flag` becomes
+  /// true, workers finish the scenarios they are on (results stay valid) and
+  /// claim no more; unstarted scenarios come back with skipped = true and
+  /// BatchResult.interrupted is set. The flag must outlive run().
+  void set_cancel(const std::atomic<bool>* flag) { cancel_ = flag; }
+
   /// Run every scenario, `jobs` at a time. Workloads are resolved up front
   /// (one graph build per unique workload) and programs are compiled once
   /// per unique (graph, compile-relevant arch, options) key, shared across
@@ -129,6 +180,10 @@ class BatchRunner {
   std::shared_ptr<artifact::Store> artifacts_;
   telemetry::TraceSink* trace_ = nullptr;
   telemetry::Registry* metrics_ = nullptr;
+  uint64_t scenario_timeout_ms_ = 0;
+  unsigned max_retries_ = 0;
+  unsigned retry_backoff_ms_ = 10;
+  const std::atomic<bool>* cancel_ = nullptr;
 };
 
 /// Cross product {workloads} x {policies} x {batches} -> scenario list, all

@@ -37,6 +37,7 @@ json::Value Report::to_json() const {
   v["network"] = json::Value(network);
   v["policy"] = json::Value(policy);
   v["finished"] = json::Value(finished);
+  if (wall_timed_out) v["wall_timed_out"] = json::Value(true);
   v["latency_ms"] = json::Value(latency_ms());
   v["energy_uj"] = json::Value(energy_uj());
   v["avg_power_mw"] = json::Value(avg_power_mw());
@@ -80,6 +81,7 @@ Report simulate_program(const isa::Program& program, const config::ArchConfig& c
   report.policy = program.mapping_policy;
   report.stats = chip.run();
   report.finished = chip.finished();
+  report.wall_timed_out = chip.wall_expired();
   if (trace != nullptr) {
     // Layer phases, reconstructed post-run from the per-layer stats: one
     // complete event per layer spanning first issue to last completion.

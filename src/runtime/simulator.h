@@ -23,6 +23,10 @@ struct Report {
   std::string network;
   std::string policy;
   bool finished = false;        ///< all cores halted (no deadlock/timeout)
+  /// The run was abandoned by the wall-clock watchdog
+  /// (SimSettings.max_wall_ms); implies !finished. Serialized only when
+  /// true, so existing report JSON stays byte-identical.
+  bool wall_timed_out = false;
   arch::RunStats stats;
   compiler::CompileReport compile;
   /// Functional network output (int8), read back from global memory.

@@ -197,6 +197,15 @@ Time Kernel::run(Time until) {
   // heap-at-now work can appear, and ring pushes append FIFO behind the
   // current batch.
   for (;;) {
+    // Wall-clock watchdog: one predictable branch per outer iteration when
+    // unarmed; when armed, the host clock is read every 64th iteration (the
+    // bounded ring drain below guarantees outer iterations keep happening
+    // even in a same-time notify storm).
+    if (wall_armed_ && (++wall_tick_ & 63u) == 0 &&
+        std::chrono::steady_clock::now() >= wall_deadline_) {
+      wall_expired_ = true;
+      break;
+    }
     if (!heap_.empty() && heap_.front().t == now_) {
       // Leftover same-time heap entries (possible after a bare step() that
       // advanced time). Their seqs precede every ring entry's — drain first.
@@ -209,16 +218,28 @@ Time Kernel::run(Time until) {
     }
     if (ring_count_ > 0) {
       if (now_ >= until) break;
-      do {
-        const RingItem item = ring_pop();
-        exec(now_, item.seq, item.h, item.fn);
-      } while (ring_count_ > 0);
+      if (!wall_armed_) {
+        do {
+          const RingItem item = ring_pop();
+          exec(now_, item.seq, item.h, item.fn);
+        } while (ring_count_ > 0);
+      } else {
+        // Armed: cap the drain so a ring that perpetually refills (events
+        // scheduling more events at the same time) still yields to the
+        // watchdog check above. The unarmed loop stays branch-identical.
+        size_t budget = 4096;
+        do {
+          const RingItem item = ring_pop();
+          exec(now_, item.seq, item.h, item.fn);
+        } while (ring_count_ > 0 && --budget > 0);
+      }
       continue;
     }
     if (heap_.empty() || heap_.front().t >= until) break;
     now_ = heap_.front().t;  // advance; the loop re-enters the heap-at-now drain
   }
-  if (now_ < until && until != kTimeMax) now_ = until;
+  // An abandoned run must not pretend it reached the simulated-time budget.
+  if (!wall_expired_ && now_ < until && until != kTimeMax) now_ = until;
   return now_;
 }
 

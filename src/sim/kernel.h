@@ -39,6 +39,7 @@
 // event order itself, not just the end state.
 #pragma once
 
+#include <chrono>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
@@ -250,6 +251,26 @@ class Kernel {
   /// bound on event times). Returns the final simulation time.
   Time run(Time until = kTimeMax);
 
+  /// Arm a wall-clock watchdog: run() abandons the simulation (leaving the
+  /// event queue intact and wall_expired() set) once the host clock passes
+  /// `deadline`. The check is strided — every few thousand events — so the
+  /// unarmed hot path pays one predictable branch and the armed path almost
+  /// never touches the host clock; expiry is therefore detected within a few
+  /// milliseconds, not exactly at the deadline. This is the only way to
+  /// bound a scenario whose *simulated* time budget never triggers (e.g. a
+  /// same-time notify storm that stops advancing the clock).
+  void arm_wall_watchdog(std::chrono::steady_clock::time_point deadline) {
+    wall_deadline_ = deadline;
+    wall_armed_ = true;
+    wall_expired_ = false;
+  }
+  void disarm_wall_watchdog() {
+    wall_armed_ = false;
+    wall_expired_ = false;
+  }
+  /// True when the last run() was abandoned by the wall-clock watchdog.
+  bool wall_expired() const { return wall_expired_; }
+
   /// Execute exactly one pending event. Returns false if the queue is empty.
   bool step();
 
@@ -364,6 +385,10 @@ class Kernel {
   // dereference queue links — the frames they point into may already be gone.
   bool destroying_ = false;
   telemetry::TraceSink* trace_ = nullptr;
+  bool wall_armed_ = false;
+  bool wall_expired_ = false;
+  uint32_t wall_tick_ = 0;  // strides host-clock reads while armed
+  std::chrono::steady_clock::time_point wall_deadline_{};
   Time now_ = 0;
   uint64_t seq_ = 0;
   uint64_t events_executed_ = 0;

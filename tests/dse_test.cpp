@@ -309,6 +309,43 @@ TEST(SamplerTest, RandomIsSeededAndWithoutReplacement) {
   EXPECT_EQ(c->propose(10000, {}).size(), s.grid_size());
 }
 
+TEST(SamplerTest, RandomExhaustionIsCountedAsDuplicatesNotConstraints) {
+  // Draining a small unconstrained space forces re-draws of already-proposed
+  // points: the rejection budget that ends the round must be the duplicate
+  // one, and the accounting must say so — duplicate_skips() > 0 while
+  // constraint_skips() stays 0 (nothing was infeasible).
+  const SearchSpace s = small_space();
+  const auto sampler = make_sampler("random", s, 11);
+  EXPECT_EQ(sampler->propose(10000, {}).size(), s.grid_size());
+  EXPECT_GT(sampler->duplicate_skips(), 0u);
+  EXPECT_EQ(sampler->constraint_skips(), 0u);
+}
+
+TEST(SamplerTest, RandomBoundsScanOnJointlyUnsatisfiableConstraints) {
+  // The random mirror of GridBoundsScanOnJointlyUnsatisfiableConstraints:
+  // every uniform draw from this 512x512 grid violates the (jointly empty)
+  // constraint pair, so the refill loop must stop at its fixed 64Ki
+  // constraint budget — attributed entirely to constraint_skips(), with
+  // duplicate_skips() untouched (an infeasible draw never reaches the
+  // dedup set).
+  SearchSpace s;
+  s.base = config::ArchConfig::tiny();
+  Knob a{"noc_link_bytes", {}};
+  Knob b{"rob_size", {}};
+  for (int v = 1; v <= 512; ++v) {
+    a.values.push_back(json::Value(v));
+    b.values.push_back(json::Value(v));
+  }
+  s.knobs = {a, b};
+  s.constraints.push_back(Constraint::parse("rob_size <= 4", s));
+  s.constraints.push_back(Constraint::parse("rob_size >= 8", s));
+
+  const auto sampler = make_sampler("random", s, 5);
+  EXPECT_TRUE(sampler->propose(4, {}).empty());
+  EXPECT_EQ(sampler->constraint_skips(), size_t{64} * 1024);
+  EXPECT_EQ(sampler->duplicate_skips(), 0u);
+}
+
 TEST(SamplerTest, EvolveIsDeterministicGivenHistory) {
   const SearchSpace s = small_space();
   // Synthetic history: two feasible points with made-up metrics.

@@ -21,12 +21,17 @@
 //     {"models": [...], "policies": [...], "batches": [...],
 //      "arch": "tiny", "input_hw": 8, "functional": true,
 //      "workloads": [{"kind": "graph_file", "path": "net.json"}, ...]}
+#include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "common/journal.h"
 #include "common/strings.h"
 #include "config/arch_config.h"
+#include "dse/cache.h"
 #include "json/json.h"
 #include "runtime/batch_runner.h"
 #include "workload/workload.h"
@@ -39,6 +44,32 @@ using namespace pim;
 [[noreturn]] void die(const std::string& what) {
   std::fprintf(stderr, "pimbatch: %s\n", what.c_str());
   std::exit(2);
+}
+
+/// First ^C drains: in-flight scenarios finish, their results are journaled,
+/// unclaimed scenarios are skipped and the partial summary is written. A
+/// second ^C restores the default disposition and kills immediately.
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void on_sigint(int) {
+  g_interrupted.store(true, std::memory_order_relaxed);
+  std::signal(SIGINT, SIG_DFL);
+}
+
+/// Identity of one sweep for journal matching: every scenario's name plus its
+/// full simulation cache key (architecture JSON, workload content
+/// fingerprint, compile options), in sweep order. Changing anything that
+/// could change a result makes an old journal unusable.
+std::string sweep_fingerprint(const std::vector<runtime::Scenario>& scenarios) {
+  json::Array arr;
+  for (const runtime::Scenario& s : scenarios) {
+    json::Value e;
+    e["name"] = json::Value(s.name);
+    e["key"] = json::Value(dse::scenario_key(s));
+    arr.push_back(std::move(e));
+  }
+  return strformat("%016llx", static_cast<unsigned long long>(
+                                  fnv1a64(json::Value(std::move(arr)).dump())));
 }
 
 config::ArchConfig arch_by_name(const std::string& name) {
@@ -136,6 +167,20 @@ int main(int argc, char** argv) {
   args.option("--replication", "N", "1", "weight replication cap (perf policy)");
   args.option("--scenarios", "FILE", "", "sweep spec JSON (overrides the sweep flags)");
   args.option("--jobs", "N", "0", "worker threads (0 = all hardware threads)");
+  args.option("--journal", "FILE", "",
+              "crash-safety sidecar: append every completed scenario "
+              "(checksummed, fsync'd); if FILE already holds a journal of "
+              "this sweep, completed scenarios replay instead of re-running");
+  args.option("--resume", "FILE", "",
+              "resume from a journal written by --journal (same thing; the "
+              "name states the intent on the rerun command line)");
+  args.option("--scenario-timeout-ms", "N", "0",
+              "per-scenario wall-clock watchdog: kill any single simulation "
+              "that runs longer than N host ms (0 = off)");
+  args.option("--retries", "N", "0",
+              "retry a scenario up to N times after a transient failure "
+              "(vanished/unreadable workload file)");
+  args.option("--retry-backoff-ms", "N", "10", "base backoff between retries (doubles per attempt)");
   args.flag("--functional", "move real data and check outputs");
   args.flag("--verify", "rerun serially and check bit-identity");
   args.option("--json", "FILE", "", "write the summary as JSON");
@@ -177,37 +222,118 @@ int main(int argc, char** argv) {
     }
     if (scenarios.empty()) die("empty scenario list");
 
+    // Crash-safety sidecar: completed scenarios replay from the journal
+    // instead of re-simulating; only the not-yet-journaled subset runs.
+    const std::string journal_path =
+        !args.get("--resume").empty() ? args.get("--resume") : args.get("--journal");
+    journal::Journal jrnl;
+    std::map<std::string, json::Value> replayed;  // scenario name -> journaled result row
+    if (!journal_path.empty()) {
+      jrnl.open(journal_path, sweep_fingerprint(scenarios), [&](const json::Value& rec) {
+        replayed[rec.get_or("name", std::string())] = rec;
+      });
+      if (jrnl.replayed() > 0 || jrnl.discarded() > 0) {
+        std::fprintf(stderr, "journal: replayed %zu scenario%s", jrnl.replayed(),
+                     jrnl.replayed() == 1 ? "" : "s");
+        if (jrnl.discarded() > 0) {
+          std::fprintf(stderr, ", discarded %zu corrupt/partial line%s", jrnl.discarded(),
+                       jrnl.discarded() == 1 ? "" : "s");
+        }
+        std::fprintf(stderr, "\n");
+      }
+    }
+    std::vector<runtime::Scenario> to_run;
+    to_run.reserve(scenarios.size());
+    for (const runtime::Scenario& s : scenarios) {
+      if (!replayed.count(s.name)) to_run.push_back(s);
+    }
+
     runtime::BatchRunner runner(jobs);
     runner.set_trace(obs.sink());
     runner.set_metrics(obs.registry());
+    runner.set_scenario_timeout_ms(args.get_unsigned("--scenario-timeout-ms"));
+    runner.set_retry(args.get_unsigned("--retries"),
+                     std::max(1u, args.get_unsigned("--retry-backoff-ms")));
+    runner.set_cancel(&g_interrupted);
+    std::signal(SIGINT, on_sigint);
     if (!quiet) {
-      std::printf("pimbatch: %zu scenarios on %u jobs\n", scenarios.size(), runner.jobs());
-      runner.set_progress([](const runtime::ScenarioResult& r, size_t completed, size_t total) {
+      std::printf("pimbatch: %zu scenarios on %u jobs", to_run.size(), runner.jobs());
+      if (!replayed.empty()) std::printf(" (%zu replayed from journal)", replayed.size());
+      std::printf("\n");
+    }
+    // The runner serializes progress callbacks, so the journal (not
+    // thread-safe by itself) is safe to append from here. One flush per
+    // completed scenario bounds a crash's loss window to the in-flight work.
+    // Watchdog kills are host-machine artifacts, never journaled — a resume
+    // on a less-loaded machine re-attempts them.
+    runner.set_progress([&](const runtime::ScenarioResult& r, size_t completed, size_t total) {
+      if (!quiet) {
         std::printf("[%zu/%zu] %-28s %s  (%.1f ms host)\n", completed, total, r.name.c_str(),
                     r.ok ? "ok" : ("FAILED: " + r.error).c_str(), r.wall_ms);
         std::fflush(stdout);
-      });
+      }
+      if (jrnl.is_open() && !r.skipped && r.fail_kind != runtime::FailKind::WallTimeout) {
+        jrnl.append(r.to_json());
+        jrnl.flush();
+      }
+    });
+
+    runtime::BatchResult result = runner.run(to_run);
+    std::printf("\n%s", result.markdown().c_str());
+    if (!replayed.empty()) {
+      std::printf("(%zu scenario%s replayed from %s)\n", replayed.size(),
+                  replayed.size() == 1 ? "" : "s", journal_path.c_str());
     }
 
-    runtime::BatchResult result = runner.run(scenarios);
-    std::printf("\n%s", result.markdown().c_str());
-
     bool verified_ok = true;
-    if (args.has("--verify")) {
-      if (!quiet) std::printf("\nverify: rerunning %zu scenarios serially...\n", scenarios.size());
-      runtime::BatchResult serial = runtime::BatchRunner(1).run(scenarios);
+    if (args.has("--verify") && !result.interrupted) {
+      if (!quiet) std::printf("\nverify: rerunning %zu scenarios serially...\n", to_run.size());
+      runtime::BatchResult serial = runtime::BatchRunner(1).run(to_run);
       const std::vector<std::string> diffs = runtime::compare_results(result, serial);
       for (const std::string& d : diffs) std::fprintf(stderr, "mismatch: %s\n", d.c_str());
       verified_ok = diffs.empty();
       std::printf("determinism check vs serial: %s\n", verified_ok ? "PASS" : "FAIL");
     }
 
+    // Merge journaled rows back into the summary in original sweep order, so
+    // a resumed run's JSON covers the whole sweep, not just the fresh subset.
+    json::Value out = result.to_json();
+    bool all_ok = !scenarios.empty();
+    {
+      json::Array merged;
+      merged.reserve(scenarios.size());
+      size_t fresh = 0;
+      for (const runtime::Scenario& s : scenarios) {
+        auto it = replayed.find(s.name);
+        if (it != replayed.end()) {
+          merged.push_back(it->second);
+        } else {
+          merged.push_back(result.results[fresh++].to_json());
+        }
+        all_ok = all_ok && merged.back().get_or("ok", false);
+      }
+      out["scenarios"] = json::Value(std::move(merged));
+      out["all_ok"] = json::Value(all_ok);
+    }
+
     if (!args.get("--json").empty()) {
-      tools::write_text("pimbatch", args.get("--json"), result.to_json().dump(2) + "\n");
+      tools::write_text("pimbatch", args.get("--json"), out.dump(2) + "\n");
     }
     if (!args.get("--md").empty()) tools::write_text("pimbatch", args.get("--md"), result.markdown());
     obs.finish("pimbatch");
-    return result.all_ok() && verified_ok ? 0 : 1;
+
+    if (result.interrupted) {
+      size_t skipped = 0;
+      for (const runtime::ScenarioResult& r : result.results) skipped += r.skipped ? 1 : 0;
+      const size_t done = replayed.size() + to_run.size() - skipped;
+      std::fprintf(stderr, "pimbatch: interrupted — %zu of %zu scenario%s completed%s\n", done,
+                   scenarios.size(), scenarios.size() == 1 ? "" : "s",
+                   journal_path.empty()
+                       ? ""
+                       : ("; rerun with --resume " + journal_path + " to continue").c_str());
+      return 130;
+    }
+    return all_ok && verified_ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pimbatch: %s\n", e.what());
     return 1;

@@ -19,7 +19,10 @@
 // or host-timing information and is byte-identical across runs of the same
 // exploration, cold or warm cache.
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "common/math_util.h"
@@ -28,6 +31,20 @@
 #include "cli.h"
 
 using namespace pim;
+
+namespace {
+
+/// First ^C requests a graceful drain (in-flight points finish, the partial
+/// result is written, the journal stays resumable); a second ^C falls back to
+/// the default disposition and kills the process immediately.
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void on_sigint(int) {
+  g_interrupted.store(true, std::memory_order_relaxed);
+  std::signal(SIGINT, SIG_DFL);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   tools::ArgParser args("pimdse", "explore an accelerator design space");
@@ -57,6 +74,21 @@ int main(int argc, char** argv) {
               "points finish in tens of us, so this allows far tighter caps "
               "than --max-point-ms; the stricter of the two wins (0 = no "
               "budget)");
+  args.option("--journal", "FILE", "",
+              "crash-safety sidecar: append every evaluated point (checksummed, "
+              "fsync'd per batch); if FILE already holds a journal of this "
+              "exploration, completed points replay instead of re-simulating");
+  args.option("--resume", "FILE", "",
+              "resume from a journal written by --journal (same thing; the "
+              "name states the intent on the rerun command line)");
+  args.option("--scenario-timeout-ms", "N", "0",
+              "per-point wall-clock watchdog: kill any single simulation that "
+              "runs longer than N host ms (0 = off; killed points are "
+              "reported failed and never cached)");
+  args.option("--retries", "N", "0",
+              "retry a point up to N times after a transient failure "
+              "(vanished/unreadable workload file)");
+  args.option("--retry-backoff-ms", "N", "10", "base backoff between retries (doubles per attempt)");
   args.option("--out", "FILE", "dse.json", "write the full result as JSON");
   args.option("--csv", "FILE", "", "also write every evaluated point as CSV");
   args.flag("--quiet", "suppress per-point progress on stderr");
@@ -100,6 +132,18 @@ int main(int argc, char** argv) {
       opts.cache_dir = dse::resolve_cache_dir(flag_dir, args.get("--cache"));
       opts.cache_max_bytes = static_cast<uint64_t>(args.get_unsigned("--cache-cap-mb")) *
                              1024ull * 1024ull;
+      if (!flag_dir.empty()) {
+        // A cache directory the user *asked for* must work; silently falling
+        // back to an uncached exploration would hide the misconfiguration.
+        // (The env-var/default path keeps the old degrade-and-warn behavior.)
+        std::error_code ec;
+        std::filesystem::create_directories(opts.cache_dir, ec);
+        if (ec) {
+          std::fprintf(stderr, "pimdse: cannot create cache directory %s: %s\n",
+                       opts.cache_dir.c_str(), ec.message().c_str());
+          return 2;
+        }
+      }
     }
     // Both budget flags land in one ps-granular cap; when both are given the
     // stricter one wins.
@@ -112,6 +156,13 @@ int main(int argc, char** argv) {
                                           : std::min(ms_ps, us_ps);
     opts.metrics = obs.registry();
     opts.trace = obs.sink();
+    opts.journal_path =
+        !args.get("--resume").empty() ? args.get("--resume") : args.get("--journal");
+    opts.scenario_timeout_ms = static_cast<uint64_t>(args.get_unsigned("--scenario-timeout-ms"));
+    opts.max_retries = args.get_unsigned("--retries");
+    opts.retry_backoff_ms = std::max(1u, args.get_unsigned("--retry-backoff-ms"));
+    opts.cancel = &g_interrupted;
+    std::signal(SIGINT, on_sigint);
     if (opts.budget == 0) {
       std::fprintf(stderr, "pimdse: --budget must be >= 1\n");
       return 2;
@@ -131,6 +182,16 @@ int main(int argc, char** argv) {
                  space.knobs.size(), opts.sampler.c_str(), opts.budget);
 
     const dse::ExploreResult res = dse::explore(space, opts);
+
+    if (res.journal_replayed > 0 || res.journal_discarded > 0) {
+      std::fprintf(stderr, "journal: replayed %zu point%s", res.journal_replayed,
+                   res.journal_replayed == 1 ? "" : "s");
+      if (res.journal_discarded > 0) {
+        std::fprintf(stderr, ", discarded %zu corrupt/partial line%s", res.journal_discarded,
+                     res.journal_discarded == 1 ? "" : "s");
+      }
+      std::fprintf(stderr, "\n");
+    }
 
     // Deterministic report on stdout.
     std::printf("== %s: Pareto frontier over {%s} ==\n\n", space.name.c_str(),
@@ -158,6 +219,17 @@ int main(int argc, char** argv) {
     if (!args.get("--csv").empty()) tools::write_text("pimdse", args.get("--csv"), res.csv());
     obs.finish("pimdse");
 
+    if (res.interrupted) {
+      // The partial result (marked "interrupted": true) and the journal are
+      // both on disk; the conventional 128+SIGINT exit code tells scripts the
+      // run was cut short, not that it failed.
+      std::fprintf(stderr, "pimdse: interrupted — %zu point%s completed%s\n",
+                   res.points.size(), res.points.size() == 1 ? "" : "s",
+                   opts.journal_path.empty()
+                       ? ""
+                       : ("; rerun with --resume " + opts.journal_path + " to continue").c_str());
+      return 130;
+    }
     return res.frontier.empty() ? 1 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pimdse: %s\n", e.what());
