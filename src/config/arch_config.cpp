@@ -326,4 +326,11 @@ ArchConfig ArchConfig::tiny() {
   return cfg;
 }
 
+ArchConfig ArchConfig::preset(const std::string& name) {
+  if (name == "tiny") return tiny();
+  if (name == "paper") return paper_default();
+  if (name == "mnsim") return mnsim_like();
+  throw std::invalid_argument("unknown --arch \"" + name + "\" (expected tiny|paper|mnsim)");
+}
+
 }  // namespace pim::config

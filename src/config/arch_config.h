@@ -166,6 +166,10 @@ struct ArchConfig {
 
   /// A small 4-core configuration for unit tests and the quickstart example.
   static ArchConfig tiny();
+
+  /// Preset lookup by name ("tiny" | "paper" | "mnsim"); throws
+  /// std::invalid_argument with the expected-names list for anything else.
+  static ArchConfig preset(const std::string& name);
 };
 
 }  // namespace pim::config

@@ -213,7 +213,7 @@ void ResultCache::quarantine(const std::string& path, const std::string& why) {
   PIM_LOG(Warn) << "dse cache: quarantined corrupt entry " << path << " (" << why << ")";
 }
 
-bool ResultCache::load(const std::string& key, EvaluatedPoint* out) {
+bool ResultCache::load_document(const std::string& key, json::Value* out) {
   if (!enabled()) return false;
   const std::string path = entry_path(key);
   std::string contents;
@@ -241,6 +241,19 @@ bool ResultCache::load(const std::string& key, EvaluatedPoint* out) {
       }
     }
     if (v.get_or("key", "") != key) return false;  // hash collision -> miss
+    v.as_object().erase("key");
+    *out = std::move(v);
+    return true;
+  } catch (const std::exception& e) {
+    quarantine(path, e.what());
+    return false;
+  }
+}
+
+bool ResultCache::load(const std::string& key, EvaluatedPoint* out) {
+  json::Value v;
+  if (!load_document(key, &v)) return false;
+  try {
     // Entries written before the feasible flag existed default to true (only
     // feasible points were cached then).
     out->feasible = v.get_or("feasible", true);
@@ -249,20 +262,26 @@ bool ResultCache::load(const std::string& key, EvaluatedPoint* out) {
     out->metrics = Metrics::from_json(v.at("metrics"));
     return true;
   } catch (const std::exception& e) {
-    quarantine(path, e.what());
+    // Parsed and checksummed but the wrong shape (e.g. no metrics): still a
+    // corrupt entry from this consumer's point of view.
+    quarantine(entry_path(key), e.what());
     return false;
   }
 }
 
 void ResultCache::store(const std::string& key, const EvaluatedPoint& p) {
-  if (!enabled()) return;
   json::Value v;
-  v["key"] = json::Value(key);
   v["label"] = json::Value(p.label);
   v["feasible"] = json::Value(p.feasible);
   v["ok"] = json::Value(p.ok);
   if (!p.error.empty()) v["error"] = json::Value(p.error);
   v["metrics"] = p.metrics.to_json();
+  store_document(key, std::move(v));
+}
+
+void ResultCache::store_document(const std::string& key, json::Value v) {
+  if (!enabled()) return;
+  v["key"] = json::Value(key);
   const std::string payload_sum = checksum_hex(v.dump(2));
   v["checksum"] = json::Value(payload_sum);
   const std::string path = entry_path(key);

@@ -103,6 +103,16 @@ class ResultCache {
   /// swallowed — a broken cache must never fail an exploration.
   void store(const std::string& key, const EvaluatedPoint& p);
 
+  /// Generic entry access — the on-disk format load()/store() use, open to
+  /// other payloads (the serving layer caches whole runtime::Report JSON
+  /// documents this way). `store_document` takes an arbitrary JSON object,
+  /// injects the verbatim "key" and the payload "checksum" at top level, and
+  /// writes it with the same atomic-rename + size-cap discipline as store().
+  /// `load_document` verifies checksum and key (quarantining corrupt
+  /// entries), strips the injected fields, and returns the caller's object.
+  bool load_document(const std::string& key, json::Value* out);
+  void store_document(const std::string& key, json::Value doc);
+
  private:
   std::string entry_path(const std::string& key) const;
   uint64_t scan_bytes() const;

@@ -206,10 +206,17 @@ std::string Value::dump(int indent) const {
 namespace {
 class Parser {
  public:
+  /// Containers may nest at most this deep. The recursive-descent parser
+  /// spends one host stack frame per level, so an unbounded document (the
+  /// parser also reads socket input — see pim::serve) could overflow the
+  /// stack; 256 is far beyond any real config while keeping worst-case stack
+  /// use trivial.
+  static constexpr int kMaxDepth = 256;
+
   explicit Parser(std::string_view text) : text_(text) {}
 
   Value parse_document() {
-    Value v = parse_value();
+    Value v = parse_value(0);
     skip_ws();
     if (pos_ != text_.size()) fail("trailing characters after document");
     return v;
@@ -261,12 +268,16 @@ class Parser {
     return false;
   }
 
-  Value parse_value() {
+  Value parse_value(int depth) {
     skip_ws();
     char c = peek();
     switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{':
+      case '[':
+        if (depth >= kMaxDepth) {
+          fail("nesting deeper than " + std::to_string(kMaxDepth) + " levels");
+        }
+        return c == '{' ? parse_object(depth) : parse_array(depth);
       case '"': return Value(parse_string());
       case 't':
         if (consume_literal("true")) return Value(true);
@@ -281,7 +292,7 @@ class Parser {
     }
   }
 
-  Value parse_object() {
+  Value parse_object(int depth) {
     expect('{');
     Object obj;
     skip_ws();
@@ -298,7 +309,7 @@ class Parser {
       std::string key = parse_string();
       skip_ws();
       expect(':');
-      obj[std::move(key)] = parse_value();
+      obj[std::move(key)] = parse_value(depth + 1);
       skip_ws();
       char c = get();
       if (c == '}') return Value(std::move(obj));
@@ -309,7 +320,7 @@ class Parser {
     }
   }
 
-  Value parse_array() {
+  Value parse_array(int depth) {
     expect('[');
     Array arr;
     skip_ws();
@@ -323,7 +334,7 @@ class Parser {
         get();
         return Value(std::move(arr));
       }
-      arr.push_back(parse_value());
+      arr.push_back(parse_value(depth + 1));
       skip_ws();
       char c = get();
       if (c == ']') return Value(std::move(arr));
@@ -354,24 +365,37 @@ class Parser {
           case 'b': out += '\b'; break;
           case 'f': out += '\f'; break;
           case 'u': {
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              char h = get();
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else fail("bad \\u escape");
+            unsigned code = parse_hex4();
+            // Surrogates are only meaningful as a \uD8xx\uDCxx pair naming an
+            // astral code point; a lone half is not a code point at all, and
+            // encoding it would emit invalid UTF-8 (the original sin this
+            // replaces). Reject unpaired halves with a precise message.
+            if (code >= 0xDC00 && code <= 0xDFFF) {
+              fail("unpaired low surrogate in \\u escape");
             }
-            // Encode BMP code point as UTF-8 (surrogate pairs unsupported;
-            // configs are ASCII in practice).
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              if (get() != '\\' || get() != 'u') {
+                fail("high surrogate must be followed by a \\u low surrogate");
+              }
+              const unsigned lo = parse_hex4();
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                fail("high surrogate must be followed by a low surrogate");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+            }
+            // Encode the code point as UTF-8 (1-4 bytes).
             if (code < 0x80) {
               out += static_cast<char>(code);
             } else if (code < 0x800) {
               out += static_cast<char>(0xC0 | (code >> 6));
               out += static_cast<char>(0x80 | (code & 0x3F));
-            } else {
+            } else if (code < 0x10000) {
               out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xF0 | (code >> 18));
+              out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
               out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
               out += static_cast<char>(0x80 | (code & 0x3F));
             }
@@ -383,6 +407,19 @@ class Parser {
         out += c;
       }
     }
+  }
+
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = get();
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("bad \\u escape");
+    }
+    return code;
   }
 
   Value parse_number() {

@@ -424,6 +424,62 @@ std::vector<Scenario> expand_sweep(const std::vector<workload::WorkloadSpec>& wo
   return out;
 }
 
+compiler::MappingPolicy policy_from_name(const std::string& name) {
+  if (name == "util") return compiler::MappingPolicy::UtilizationFirst;
+  if (name == "perf") return compiler::MappingPolicy::PerformanceFirst;
+  throw std::invalid_argument("unknown policy \"" + name + "\" (expected perf|util)");
+}
+
+std::vector<Scenario> sweep_from_json(const json::Value& spec, const std::string& base_dir) {
+  const int32_t input_hw = static_cast<int32_t>(spec.get_or("input_hw", 32));
+
+  std::vector<workload::WorkloadSpec> workloads;
+  if (spec.contains("models")) {
+    for (const json::Value& m : spec.at("models").as_array()) {
+      workloads.push_back(workload::parse_workload_token(m.as_string(), input_hw, base_dir));
+    }
+  }
+  if (spec.contains("workloads")) {
+    workload::WorkloadSpec defaults;
+    defaults.input_hw = input_hw;
+    for (const json::Value& w : spec.at("workloads").as_array()) {
+      workloads.push_back(workload::WorkloadSpec::from_json(w, base_dir, defaults));
+    }
+  }
+  if (workloads.empty()) {
+    throw std::invalid_argument("sweep spec needs \"models\" and/or \"workloads\"");
+  }
+
+  std::vector<compiler::MappingPolicy> policies;
+  for (const json::Value& p : spec.at("policies").as_array()) {
+    policies.push_back(policy_from_name(p.as_string()));
+  }
+  std::vector<uint32_t> batches;
+  for (const json::Value& b : spec.at("batches").as_array()) {
+    if (b.as_int() < 1) throw std::invalid_argument("sweep batches entries must be >= 1");
+    batches.push_back(static_cast<uint32_t>(b.as_int()));
+  }
+  config::ArchConfig arch;
+  if (spec.contains("config")) {
+    std::string path = spec.at("config").as_string();
+    if (!base_dir.empty() && !path.empty() && path[0] != '/') path = base_dir + "/" + path;
+    arch = config::ArchConfig::load(path);
+  } else {
+    arch = config::ArchConfig::preset(spec.get_or("arch", "tiny"));
+  }
+  std::vector<Scenario> out = expand_sweep(workloads, policies, batches, arch,
+                                           spec.get_or("functional", false));
+  const int64_t repl = spec.get_or("replication", int64_t{1});
+  if (repl < 1) throw std::invalid_argument("sweep replication must be >= 1");
+  if (repl > 1) {
+    for (Scenario& s : out) {
+      s.copts.replication = static_cast<uint32_t>(repl);
+      s.name = s.derive_name();
+    }
+  }
+  return out;
+}
+
 std::vector<std::string> compare_results(const BatchResult& a, const BatchResult& b) {
   std::vector<std::string> diffs;
   if (a.results.size() != b.results.size()) {

@@ -195,6 +195,20 @@ std::vector<Scenario> expand_sweep(const std::vector<workload::WorkloadSpec>& wo
                                    const std::vector<uint32_t>& batches,
                                    const config::ArchConfig& arch, bool functional = false);
 
+/// "perf" | "util" -> MappingPolicy; throws std::invalid_argument otherwise.
+compiler::MappingPolicy policy_from_name(const std::string& name);
+
+/// Sweep spec from a JSON value — the `pimbatch --scenarios` schema, shared
+/// with the serving layer:
+///   {"models": ["tiny_cnn", "net.json", ...],       // and/or "workloads"
+///    "workloads": [{"kind": "graph_file", ...}],
+///    "policies": ["perf", "util"], "batches": [1, 2],
+///    "arch": "tiny" | "config": "arch.json",
+///    "input_hw": 8, "functional": true, "replication": 1}
+/// Relative file paths resolve against `base_dir`. Throws json::Error on
+/// shape errors and std::invalid_argument on bad values.
+std::vector<Scenario> sweep_from_json(const json::Value& spec, const std::string& base_dir = "");
+
 /// Bit-exact comparison of two runs of the same scenario list (e.g. parallel
 /// vs serial): latency in ps, per-component energy in pJ, instruction count
 /// and functional output must match exactly. Returns one human-readable

@@ -1,0 +1,102 @@
+// pimserved wire protocol: newline-delimited JSON requests and replies.
+//
+// One request is one line of JSON, one reply is one line of JSON. Every
+// request is an object with a "kind" ("evaluate" | "batch" | "stats" |
+// "shutdown") and an optional "id" that is echoed verbatim in the reply, so
+// clients may pipeline requests over one connection and match replies by id.
+//
+// Replies always carry `"ok": true|false`. A refused or failed request gets
+// `"ok": false` and a structured `"error": {"code": ..., "message": ...}`
+// object — never a dropped connection, never a crash. Error codes:
+//
+//   bad_request      malformed JSON, unknown kind, schema/value errors,
+//                    oversized or too-deeply-nested documents
+//   overloaded       admission control refused the request (--max-inflight)
+//   budget_exceeded  the simulation hit its simulated-time or wall-clock
+//                    budget (max_time_ps / --scenario-timeout-ms)
+//   evaluate_failed  the compile or simulation itself failed
+//   shutting_down    the daemon is draining and accepts no new work
+//
+// This header is socket-free by design: tests drive the full protocol
+// through serve::Server::handle_line without ever opening a socket.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "runtime/batch_runner.h"
+
+namespace pim::serve {
+
+/// Request kinds the daemon understands.
+enum class Kind { Evaluate, Batch, Stats, Shutdown };
+const char* kind_name(Kind k);
+
+/// Structured error codes (the "error".code field of a refusal reply).
+namespace errc {
+inline constexpr const char* kBadRequest = "bad_request";
+inline constexpr const char* kOverloaded = "overloaded";
+inline constexpr const char* kBudgetExceeded = "budget_exceeded";
+inline constexpr const char* kEvaluateFailed = "evaluate_failed";
+inline constexpr const char* kShuttingDown = "shutting_down";
+}  // namespace errc
+
+/// A request the server answers with a structured error reply instead of a
+/// result. `code()` is one of the errc constants above.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(std::string code, const std::string& what)
+      : std::runtime_error(what), code_(std::move(code)) {}
+  const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+/// One parsed request line.
+struct Request {
+  Kind kind = Kind::Evaluate;
+  json::Value id;    ///< echoed verbatim in the reply; null when absent
+  json::Value body;  ///< the full request object (kind/id included)
+};
+
+/// Parse one request line. Throws ProtocolError(bad_request) when the line
+/// exceeds `max_bytes` (0 = unlimited), is not valid JSON (including the
+/// parser's depth cap), is not an object, or names an unknown kind.
+Request parse_request(const std::string& line, size_t max_bytes = 0);
+
+/// Reply skeletons. ok_reply echoes the request's id and kind with
+/// `"ok": true`; callers add the result fields. error_reply carries the
+/// structured error object (id may be null for unparseable requests).
+json::Value ok_reply(const Request& req);
+json::Value error_reply(const json::Value& id, const std::string& code,
+                        const std::string& message);
+
+/// Build the scenario an "evaluate" body describes — the same knobs as a
+/// one-shot `pimsim --workload` run, so a served Report is bit-identical to
+/// the CLI's:
+///   {"workload": NAME|FILE,          // required: zoo name, "mlp", or file
+///    "input_hw": N,                  // default 32
+///    "arch": "tiny"|"paper"|"mnsim", // default "paper"
+///    "config": FILE | {...},         // arch JSON; overrides "arch"
+///    "policy": "perf"|"util",        // default "perf"
+///    "batch": N, "replication": N,   // default 1
+///    "functional": bool,             // default false
+///    "input_seed": N,                // default 7 (pimsim's seed)
+///    "max_time_ps": N,               // simulated-time budget, default off
+///    "name": "label"}                // default: derived scenario name
+/// Relative file paths resolve against `base_dir`. Throws
+/// ProtocolError(bad_request) on any schema or value error.
+runtime::Scenario scenario_from_request(const json::Value& body,
+                                        const std::string& base_dir = "");
+
+/// Expand the sweep a "batch" body describes — the body *is* a
+/// `pimbatch --scenarios` sweep spec (see runtime::sweep_from_json for the
+/// schema; the extra kind/id keys are ignored). Throws
+/// ProtocolError(bad_request) on any schema or value error.
+std::vector<runtime::Scenario> sweep_from_request(const json::Value& body,
+                                                  const std::string& base_dir = "");
+
+}  // namespace pim::serve

@@ -1,0 +1,117 @@
+// pim::serve::Server — the long-lived evaluation daemon behind pimserved.
+//
+// One Server owns the hot state every request shares:
+//
+//   * one artifact::Store (graphs + compiled programs, single-flight) held
+//     across requests — the compile-once/simulate-many memo that makes
+//     repeated evaluations near-free,
+//   * one runtime::BatchRunner pool that both "evaluate" and "batch"
+//     requests fan out over,
+//   * an optional dse::ResultCache directory as a durable L2: whole
+//     runtime::Report documents keyed by the full scenario cache key, so a
+//     daemon restart (or a sibling daemon on the same machine) still hits,
+//   * one telemetry::Registry — the "stats" endpoint is a snapshot of it.
+//
+// Request handling is transport-free: handle_line() maps one request line to
+// one reply line and never throws. listen()/serve() add the POSIX socket
+// framing on top (Unix domain socket and/or loopback TCP), one thread per
+// connection, with a 100 ms poll tick everywhere so stop requests drain
+// promptly: after request_stop() (a served "shutdown" or the tool's SIGINT
+// flag) the server stops accepting, finishes every request already received,
+// then serve() returns.
+//
+// Admission control: at most `max_inflight` evaluate/batch requests run
+// concurrently; excess requests are refused immediately with a structured
+// "overloaded" error (stats/shutdown are always admitted). Per-request
+// budgets ride on the existing plumbing: "max_time_ps" in the request (or
+// the server-wide default) bounds simulated time, and the server-wide
+// scenario watchdog bounds wall clock; both surface as "budget_exceeded".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "artifact/artifact.h"
+#include "dse/cache.h"
+#include "runtime/batch_runner.h"
+#include "serve/protocol.h"
+#include "telemetry/telemetry.h"
+
+namespace pim::serve {
+
+struct ServerOptions {
+  std::string unix_path;            ///< AF_UNIX listen path ("" = off)
+  int tcp_port = -1;                ///< loopback TCP port (-1 = off, 0 = ephemeral)
+  unsigned jobs = 0;                ///< BatchRunner workers (0 = hardware threads)
+  unsigned max_inflight = 4;        ///< concurrent evaluate/batch admissions
+  size_t max_request_bytes = 8u << 20;  ///< refuse longer request lines
+  uint64_t scenario_timeout_ms = 0; ///< per-scenario wall-clock watchdog (0 = off)
+  uint64_t default_max_time_ps = 0; ///< simulated-time budget when the request sets none
+  std::string cache_dir;            ///< durable L2 directory ("" = off)
+  uint64_t cache_cap_bytes = 0;     ///< L2 size cap (0 = unbounded)
+  std::string base_dir;             ///< resolve relative workload/config paths ("" = cwd)
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& opt);
+
+  /// Dispatch one request line to one reply line (compact JSON, no trailing
+  /// newline). Never throws — every failure becomes a structured error
+  /// reply. Thread-safe: connection threads call this concurrently.
+  std::string handle_line(const std::string& line);
+
+  /// Bind the configured sockets (and unlink a stale unix_path first).
+  /// Throws std::runtime_error when nothing is configured or a bind fails.
+  void listen();
+
+  /// Accept and serve until stopping(); returns after every connection
+  /// thread has drained. listen() must have succeeded first.
+  void serve();
+
+  /// First call stops accepting; in-flight requests drain (idempotent).
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+  /// Also honor an external flag (the tool's SIGINT handler writes it; must
+  /// outlive serve()).
+  void set_stop_flag(const std::atomic<bool>* flag) { external_stop_ = flag; }
+  bool stopping() const {
+    return stop_.load(std::memory_order_relaxed) ||
+           (external_stop_ != nullptr && external_stop_->load(std::memory_order_relaxed));
+  }
+
+  /// Actual TCP port after listen() (useful with tcp_port = 0); -1 when off.
+  int tcp_port() const { return bound_tcp_port_; }
+
+  telemetry::Registry& registry() { return registry_; }
+  /// The "stats" payload: a registry snapshot with the artifact.* counters
+  /// taken from the store's own monotonic totals (exact under concurrency).
+  json::Value stats_snapshot();
+
+  /// Route simulation traces from every served request into `sink` (null =
+  /// off; must outlive the server's request handling).
+  void set_trace(telemetry::TraceSink* sink) { runner_.set_trace(sink); }
+
+ private:
+  json::Value handle_request(const Request& req);
+  json::Value handle_evaluate(const Request& req);
+  json::Value handle_batch(const Request& req);
+  void serve_connection(int fd);
+
+  ServerOptions opt_;
+  telemetry::Registry registry_;
+  std::shared_ptr<artifact::Store> store_;
+  runtime::BatchRunner runner_;
+  std::unique_ptr<dse::ResultCache> l2_;  // guarded by l2_mutex_ (not thread-safe itself)
+  std::mutex l2_mutex_;
+  std::atomic<unsigned> inflight_{0};
+  std::atomic<bool> stop_{false};
+  const std::atomic<bool>* external_stop_ = nullptr;
+  std::vector<int> listen_fds_;
+  int bound_tcp_port_ = -1;
+};
+
+}  // namespace pim::serve

@@ -173,5 +173,69 @@ TEST(JsonParse, DeepNesting) {
   EXPECT_EQ(cur->as_int(), 1);
 }
 
+std::string nested_arrays(int depth) {
+  std::string text(static_cast<size_t>(depth), '[');
+  text += "1";
+  text.append(static_cast<size_t>(depth), ']');
+  return text;
+}
+
+TEST(JsonParse, DepthCapStopsNestingBombs) {
+  // Exactly at the cap still parses; one past it is a clean Error. The 100k
+  // bomb used to exhaust the host stack — it must throw, not crash.
+  EXPECT_NO_THROW(parse(nested_arrays(256)));
+  EXPECT_THROW(parse(nested_arrays(257)), Error);
+  EXPECT_THROW(parse(nested_arrays(100000)), Error);
+  // Objects count against the same cap.
+  std::string objs;
+  for (int i = 0; i < 300; ++i) objs += "{\"k\":";
+  objs += "1";
+  objs.append(300, '}');
+  EXPECT_THROW(parse(objs), Error);
+  try {
+    parse(nested_arrays(100000));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting deeper"), std::string::npos) << e.what();
+  }
+}
+
+TEST(JsonParse, SurrogatePairsDecodeToAstralCodePoints) {
+  // U+1F600 via its surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(parse(R"("\uD83D\uDE00")").as_string(), "\xF0\x9F\x98\x80");
+  // U+10000, the first astral code point.
+  EXPECT_EQ(parse(R"("\uD800\uDC00")").as_string(), "\xF0\x90\x80\x80");
+  // U+10FFFF, the last one.
+  EXPECT_EQ(parse(R"("\uDBFF\uDFFF")").as_string(), "\xF4\x8F\xBF\xBF");
+  // BMP escapes are unaffected.
+  EXPECT_EQ(parse(R"("\u00e9")").as_string(), "\xc3\xa9");
+  EXPECT_EQ(parse(R"("\u0041")").as_string(), "A");
+}
+
+TEST(JsonParse, LoneSurrogatesRejected) {
+  EXPECT_THROW(parse(R"("\uD800")"), Error);          // lone high, end of string
+  EXPECT_THROW(parse(R"("\uD800x")"), Error);         // high followed by a char
+  EXPECT_THROW(parse(R"("\uD800\n")"), Error);        // high followed by an escape
+  EXPECT_THROW(parse(R"("\uD800\uD800")"), Error);    // high followed by high
+  EXPECT_THROW(parse(R"("\uDC00")"), Error);          // lone low
+  EXPECT_THROW(parse(R"("\uDFFF\uDC00")"), Error);    // low first
+  try {
+    parse(R"("\uDC00")");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("surrogate"), std::string::npos) << e.what();
+  }
+}
+
+TEST(JsonDump, AstralRoundTrip) {
+  // dump() passes 4-byte UTF-8 through raw, so a surrogate-pair escape
+  // round-trips through Value::dump -> parse unchanged.
+  Value v = parse(R"({"emoji":"\uD83D\uDE00","mix":"a\uD83D\uDE00b"})");
+  EXPECT_EQ(parse(v.dump()), v);
+  EXPECT_EQ(parse(v.dump(2)), v);
+  EXPECT_EQ(v.at("mix").as_string(), "a\xF0\x9F\x98\x80"
+                                     "b");
+}
+
 }  // namespace
 }  // namespace pim::json

@@ -1,0 +1,339 @@
+// Serving layer tests: protocol parse/serialize, request dispatch through
+// Server::handle_line (no sockets needed — that is the design), admission
+// control, budgets, and the malformed-request battery. The daemon must
+// answer every hostile input with a structured error and keep serving.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace pim::serve {
+namespace {
+
+json::Value parse_reply(const std::string& line) {
+  json::Value v = json::parse(line);
+  EXPECT_TRUE(v.is_object()) << line;
+  return v;
+}
+
+std::string evaluate_line(const std::string& id) {
+  return R"({"id":")" + id +
+         R"(","kind":"evaluate","workload":"mlp","arch":"tiny","input_hw":8,"functional":true})";
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, ParsesEveryKind) {
+  EXPECT_EQ(parse_request(R"({"kind":"evaluate","workload":"mlp"})").kind, Kind::Evaluate);
+  EXPECT_EQ(parse_request(R"({"kind":"batch"})").kind, Kind::Batch);
+  EXPECT_EQ(parse_request(R"({"kind":"stats"})").kind, Kind::Stats);
+  EXPECT_EQ(parse_request(R"({"kind":"shutdown"})").kind, Kind::Shutdown);
+}
+
+TEST(ServeProtocol, IdIsEchoedVerbatim) {
+  Request req = parse_request(R"({"kind":"stats","id":42})");
+  EXPECT_EQ(req.id.as_int(), 42);
+  json::Value ok = ok_reply(req);
+  EXPECT_EQ(ok.at("id").as_int(), 42);
+  EXPECT_TRUE(ok.at("ok").as_bool());
+  EXPECT_EQ(ok.at("kind").as_string(), "stats");
+  // A string id works too, and a missing id round-trips as null.
+  EXPECT_EQ(parse_request(R"({"kind":"stats","id":"abc"})").id.as_string(), "abc");
+  EXPECT_TRUE(parse_request(R"({"kind":"stats"})").id.is_null());
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests) {
+  const auto code_of = [](const std::string& line) {
+    try {
+      parse_request(line);
+      return std::string("no error");
+    } catch (const ProtocolError& e) {
+      return e.code();
+    }
+  };
+  EXPECT_EQ(code_of("not json at all"), errc::kBadRequest);
+  EXPECT_EQ(code_of(""), errc::kBadRequest);
+  EXPECT_EQ(code_of("[1,2,3]"), errc::kBadRequest);        // not an object
+  EXPECT_EQ(code_of(R"({"kind":"frobnicate"})"), errc::kBadRequest);
+  EXPECT_EQ(code_of(R"({"workload":"mlp"})"), errc::kBadRequest);  // no kind
+}
+
+TEST(ServeProtocol, OversizedLineRefused) {
+  const std::string big(1024, 'x');
+  try {
+    parse_request(big, /*max_bytes=*/512);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), errc::kBadRequest);
+    EXPECT_NE(std::string(e.what()).find("exceeds"), std::string::npos);
+  }
+}
+
+TEST(ServeProtocol, ErrorReplyShape) {
+  json::Value v = error_reply(json::Value(int64_t{7}), errc::kOverloaded, "too busy");
+  EXPECT_EQ(v.at("id").as_int(), 7);
+  EXPECT_FALSE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("error").at("code").as_string(), errc::kOverloaded);
+  EXPECT_EQ(v.at("error").at("message").as_string(), "too busy");
+}
+
+TEST(ServeProtocol, ScenarioFromRequestMatchesPimsimDefaults) {
+  json::Value body = json::parse(
+      R"({"kind":"evaluate","workload":"mlp","arch":"tiny","input_hw":8,"functional":true})");
+  runtime::Scenario s = scenario_from_request(body);
+  EXPECT_EQ(s.workload.input_hw, 8);
+  EXPECT_TRUE(s.functional);
+  EXPECT_EQ(s.input_seed, 7u);  // pimsim's fixed functional seed
+  EXPECT_EQ(s.copts.policy, compiler::MappingPolicy::PerformanceFirst);
+  EXPECT_EQ(s.copts.batch, 1u);
+  EXPECT_EQ(s.arch.core_count, 4u);  // tiny preset
+  EXPECT_EQ(s.name, s.derive_name());
+}
+
+TEST(ServeProtocol, ScenarioFromRequestRejectsBadValues) {
+  const auto rejects = [](const char* text) {
+    try {
+      scenario_from_request(json::parse(text));
+      return false;
+    } catch (const ProtocolError& e) {
+      return e.code() == std::string(errc::kBadRequest);
+    }
+  };
+  EXPECT_TRUE(rejects(R"({"kind":"evaluate"})"));                       // no workload
+  EXPECT_TRUE(rejects(R"({"kind":"evaluate","workload":"no-such-zoo-entry"})"));
+  EXPECT_TRUE(rejects(R"({"kind":"evaluate","workload":"mlp","arch":"bogus"})"));
+  EXPECT_TRUE(rejects(R"({"kind":"evaluate","workload":"mlp","policy":"fastest"})"));
+  EXPECT_TRUE(rejects(R"({"kind":"evaluate","workload":"mlp","batch":0})"));
+  EXPECT_TRUE(rejects(R"({"kind":"evaluate","workload":"mlp","input_hw":-3})"));
+  EXPECT_TRUE(rejects(R"({"kind":"evaluate","workload":"mlp","max_time_ps":-1})"));
+}
+
+TEST(ServeProtocol, SweepFromRequestExpands) {
+  json::Value body = json::parse(
+      R"({"kind":"batch","models":["mlp"],"policies":["perf","util"],
+          "batches":[1,2],"arch":"tiny","input_hw":8})");
+  std::vector<runtime::Scenario> sweep = sweep_from_request(body);
+  EXPECT_EQ(sweep.size(), 4u);
+  try {
+    sweep_from_request(json::parse(R"({"kind":"batch","policies":["perf"]})"));
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), errc::kBadRequest);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server dispatch through handle_line
+// ---------------------------------------------------------------------------
+
+ServerOptions tiny_options() {
+  ServerOptions opt;
+  opt.jobs = 2;
+  opt.max_inflight = 4;
+  return opt;
+}
+
+TEST(ServeServer, EvaluateHappyPathMatchesDirectRun) {
+  Server server(tiny_options());
+  json::Value reply = parse_reply(server.handle_line(evaluate_line("e1")));
+  ASSERT_TRUE(reply.at("ok").as_bool()) << reply.dump();
+  EXPECT_EQ(reply.at("id").as_string(), "e1");
+  EXPECT_FALSE(reply.at("cached").as_bool());
+  EXPECT_EQ(reply.at("name").as_string(), "mlp/perf/b1");
+
+  // Bit-identity pin: the served report must equal a direct run of the same
+  // scenario through the library (the exact path one-shot pimsim takes).
+  runtime::Scenario s = scenario_from_request(json::parse(evaluate_line("x")));
+  runtime::BatchResult direct = runtime::BatchRunner(1).run({s});
+  ASSERT_TRUE(direct.results.at(0).ok);
+  EXPECT_EQ(reply.at("report").dump(), direct.results.at(0).report.to_json().dump());
+}
+
+TEST(ServeServer, RepeatEvaluateHitsTheHotStore) {
+  Server server(tiny_options());
+  ASSERT_TRUE(parse_reply(server.handle_line(evaluate_line("a"))).at("ok").as_bool());
+  ASSERT_TRUE(parse_reply(server.handle_line(evaluate_line("b"))).at("ok").as_bool());
+  json::Value stats = parse_reply(server.handle_line(R"({"kind":"stats"})")).at("stats");
+  const json::Value& counters = stats.at("counters");
+  // Second identical request compiles nothing: one program miss, then hits.
+  EXPECT_EQ(counters.at("artifact.program_misses").as_int(), 1);
+  EXPECT_GE(counters.at("artifact.program_hits").as_int(), 1);
+  EXPECT_EQ(counters.at("serve.evaluates").as_int(), 2);
+  // One program lookup per simulated scenario.
+  EXPECT_EQ(counters.at("artifact.program_hits").as_int() +
+                counters.at("artifact.program_misses").as_int(),
+            counters.at("batch.scenarios").as_int());
+}
+
+TEST(ServeServer, BatchRequestRunsSweep) {
+  Server server(tiny_options());
+  json::Value reply = parse_reply(server.handle_line(
+      R"({"id":"s1","kind":"batch","models":["mlp"],"policies":["perf","util"],
+          "batches":[1],"arch":"tiny","input_hw":8})"));
+  ASSERT_TRUE(reply.at("ok").as_bool()) << reply.dump();
+  EXPECT_EQ(reply.at("result").at("scenarios").size(), 2u);
+  EXPECT_TRUE(reply.at("result").at("all_ok").as_bool());
+}
+
+TEST(ServeServer, AdmissionControlRejectsWithStructuredError) {
+  ServerOptions opt = tiny_options();
+  opt.max_inflight = 0;  // everything is overload
+  Server server(opt);
+  json::Value reply = parse_reply(server.handle_line(evaluate_line("e")));
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("error").at("code").as_string(), errc::kOverloaded);
+  EXPECT_EQ(reply.at("id").as_string(), "e");
+  // stats is always admitted — a saturated server stays observable.
+  json::Value stats = parse_reply(server.handle_line(R"({"kind":"stats"})"));
+  EXPECT_TRUE(stats.at("ok").as_bool());
+  EXPECT_EQ(stats.at("stats").at("counters").at("serve.rejected").as_int(), 1);
+}
+
+TEST(ServeServer, BudgetExceededReply) {
+  ServerOptions opt = tiny_options();
+  opt.default_max_time_ps = 1;  // no simulation can finish in one picosecond
+  Server server(opt);
+  json::Value reply = parse_reply(server.handle_line(evaluate_line("b")));
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("error").at("code").as_string(), errc::kBudgetExceeded);
+}
+
+TEST(ServeServer, MalformedBatteryNeverKillsTheServer) {
+  ServerOptions opt = tiny_options();
+  opt.max_request_bytes = 1u << 20;
+  Server server(opt);
+
+  // 100k-deep nesting bomb: the parser's depth cap turns it into a clean
+  // structured error (it used to be a stack overflow).
+  std::string bomb = R"({"kind":"evaluate","workload":)";
+  bomb.append(100000, '[');
+  json::Value deep = parse_reply(server.handle_line(bomb));
+  EXPECT_FALSE(deep.at("ok").as_bool());
+  EXPECT_EQ(deep.at("error").at("code").as_string(), errc::kBadRequest);
+
+  // Lone surrogate in a string escape.
+  json::Value lone =
+      parse_reply(server.handle_line(R"({"kind":"evaluate","workload":"\uD800"})"));
+  EXPECT_FALSE(lone.at("ok").as_bool());
+  EXPECT_EQ(lone.at("error").at("code").as_string(), errc::kBadRequest);
+
+  // Oversized line.
+  std::string big = R"({"kind":"evaluate","workload":")";
+  big.append(2u << 20, 'x');
+  big += R"("})";
+  json::Value oversized = parse_reply(server.handle_line(big));
+  EXPECT_FALSE(oversized.at("ok").as_bool());
+  EXPECT_EQ(oversized.at("error").at("code").as_string(), errc::kBadRequest);
+
+  // Assorted garbage.
+  for (const char* line : {"", "   ", "nul\0l", "{", "[", "\"", "{\"kind\":3}"}) {
+    json::Value v = parse_reply(server.handle_line(line));
+    EXPECT_FALSE(v.at("ok").as_bool()) << line;
+  }
+
+  // After all of that, the server still serves real work.
+  json::Value ok = parse_reply(server.handle_line(evaluate_line("after")));
+  EXPECT_TRUE(ok.at("ok").as_bool()) << ok.dump();
+}
+
+TEST(ServeServer, ShutdownDrains) {
+  Server server(tiny_options());
+  json::Value bye = parse_reply(server.handle_line(R"({"id":9,"kind":"shutdown"})"));
+  EXPECT_TRUE(bye.at("ok").as_bool());
+  EXPECT_TRUE(server.stopping());
+  // New work is refused while draining; stats still answers.
+  json::Value refused = parse_reply(server.handle_line(evaluate_line("late")));
+  EXPECT_FALSE(refused.at("ok").as_bool());
+  EXPECT_EQ(refused.at("error").at("code").as_string(), errc::kShuttingDown);
+  EXPECT_TRUE(parse_reply(server.handle_line(R"({"kind":"stats"})")).at("ok").as_bool());
+}
+
+TEST(ServeServer, ExternalStopFlagIsHonored) {
+  Server server(tiny_options());
+  std::atomic<bool> flag{false};
+  server.set_stop_flag(&flag);
+  EXPECT_FALSE(server.stopping());
+  flag.store(true);
+  EXPECT_TRUE(server.stopping());
+}
+
+TEST(ServeServer, DurableL2ServesAcrossServerInstances) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "pim_serve_l2_test").string();
+  std::filesystem::remove_all(dir);
+  ServerOptions opt = tiny_options();
+  opt.cache_dir = dir;
+  std::string first_report;
+  {
+    Server server(opt);
+    json::Value r = parse_reply(server.handle_line(evaluate_line("warm")));
+    ASSERT_TRUE(r.at("ok").as_bool());
+    EXPECT_FALSE(r.at("cached").as_bool());
+    first_report = r.at("report").dump();
+  }
+  {
+    // A fresh server (fresh hot store) still hits through the durable L2.
+    Server server(opt);
+    json::Value r = parse_reply(server.handle_line(evaluate_line("hit")));
+    ASSERT_TRUE(r.at("ok").as_bool());
+    EXPECT_TRUE(r.at("cached").as_bool());
+    EXPECT_EQ(r.at("report").dump(), first_report);
+    json::Value stats = parse_reply(server.handle_line(R"({"kind":"stats"})")).at("stats");
+    EXPECT_EQ(stats.at("counters").at("serve.l2_hits").as_int(), 1);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+#ifndef _WIN32
+TEST(ServeServer, UnixSocketRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pim_serve_test.sock").string();
+  ServerOptions opt = tiny_options();
+  opt.unix_path = path;
+  Server server(opt);
+  server.listen();
+  std::thread daemon([&] { server.serve(); });
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  const std::string request = R"({"id":"sock","kind":"stats"})" "\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string reply;
+  char c;
+  while (::read(fd, &c, 1) == 1 && c != '\n') reply += c;
+  ::close(fd);
+
+  json::Value v = parse_reply(reply);
+  EXPECT_TRUE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("id").as_string(), "sock");
+  EXPECT_TRUE(v.at("stats").at("counters").contains("serve.requests"));
+
+  server.request_stop();
+  daemon.join();
+  EXPECT_FALSE(std::filesystem::exists(path));  // drained server unlinks it
+}
+#endif
+
+}  // namespace
+}  // namespace pim::serve

@@ -72,17 +72,22 @@ std::string sweep_fingerprint(const std::vector<runtime::Scenario>& scenarios) {
                                   fnv1a64(json::Value(std::move(arr)).dump())));
 }
 
+/// Flag-path wrappers: bad flag values are usage errors (exit 2, message on
+/// stderr), so the library's std::invalid_argument becomes die() here.
 config::ArchConfig arch_by_name(const std::string& name) {
-  if (name == "tiny") return config::ArchConfig::tiny();
-  if (name == "paper") return config::ArchConfig::paper_default();
-  if (name == "mnsim") return config::ArchConfig::mnsim_like();
-  die("unknown --arch \"" + name + "\" (expected tiny|paper|mnsim)");
+  try {
+    return config::ArchConfig::preset(name);
+  } catch (const std::invalid_argument& e) {
+    die(e.what());
+  }
 }
 
 compiler::MappingPolicy parse_policy(const std::string& p) {
-  if (p == "util") return compiler::MappingPolicy::UtilizationFirst;
-  if (p == "perf") return compiler::MappingPolicy::PerformanceFirst;
-  die("unknown policy \"" + p + "\" (expected perf|util)");
+  try {
+    return runtime::policy_from_name(p);
+  } catch (const std::invalid_argument& e) {
+    die(e.what());
+  }
 }
 
 std::vector<uint32_t> parse_batches(const std::string& csv) {
@@ -114,42 +119,11 @@ std::vector<workload::WorkloadSpec> parse_workloads(const std::vector<std::strin
   return out;
 }
 
-/// Sweep spec from JSON (see header comment); flags override nothing here —
-/// the file is authoritative when --scenarios is given.
+/// Sweep spec from JSON (see runtime::sweep_from_json for the schema); flags
+/// override nothing here — the file is authoritative when --scenarios is
+/// given. Schema/value errors propagate and exit 1 via main's handler.
 std::vector<runtime::Scenario> sweep_from_file(const std::string& path) {
-  const json::Value spec = json::parse_file(path);
-  const std::string dir = dirname(path);
-  const int32_t input_hw = static_cast<int32_t>(spec.get_or("input_hw", 32));
-
-  std::vector<workload::WorkloadSpec> workloads;
-  if (spec.contains("models")) {
-    for (const json::Value& m : spec.at("models").as_array()) {
-      workloads.push_back(workload::parse_workload_token(m.as_string(), input_hw, dir));
-    }
-  }
-  if (spec.contains("workloads")) {
-    workload::WorkloadSpec defaults;
-    defaults.input_hw = input_hw;
-    for (const json::Value& w : spec.at("workloads").as_array()) {
-      workloads.push_back(workload::WorkloadSpec::from_json(w, dir, defaults));
-    }
-  }
-  if (workloads.empty()) die("sweep spec needs \"models\" and/or \"workloads\"");
-
-  std::vector<compiler::MappingPolicy> policies;
-  for (const json::Value& p : spec.at("policies").as_array()) {
-    policies.push_back(parse_policy(p.as_string()));
-  }
-  std::vector<uint32_t> batches;
-  for (const json::Value& b : spec.at("batches").as_array()) {
-    if (b.as_int() < 1) die("sweep batches entries must be >= 1");
-    batches.push_back(static_cast<uint32_t>(b.as_int()));
-  }
-  config::ArchConfig arch = spec.contains("config")
-                                ? config::ArchConfig::load(spec.at("config").as_string())
-                                : arch_by_name(spec.get_or("arch", "tiny"));
-  return runtime::expand_sweep(workloads, policies, batches, arch,
-                               spec.get_or("functional", false));
+  return runtime::sweep_from_json(json::parse_file(path), dirname(path));
 }
 
 }  // namespace

@@ -1,0 +1,129 @@
+// pimserved — persistent evaluation daemon.
+//
+// Keeps graphs and compiled programs hot in one artifact::Store across
+// requests, fans evaluate/batch requests over one runtime::BatchRunner pool,
+// and optionally layers a durable .pimdse-cache directory underneath as a
+// shared L2 — so repeated and concurrent evaluations skip process startup,
+// config parse, graph parse, and compilation. Every served Report is
+// bit-identical to a one-shot `pimsim --json` run of the same request.
+//
+// Speaks newline-delimited JSON over a Unix domain socket and/or loopback
+// TCP (see src/serve/protocol.h for the schema):
+//
+//   pimserved --listen /tmp/pim.sock --jobs 8 --cache-dir .pimdse-cache &
+//   printf '%s\n' '{"id":1,"kind":"evaluate","workload":"mlp","arch":"tiny",
+//                   "input_hw":8,"functional":true}' | nc -U /tmp/pim.sock
+//
+// The first SIGINT (or a served "shutdown" request) stops accepting,
+// drains every request already received, and exits 0; a second SIGINT
+// kills immediately.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "serve/server.h"
+#include "cli.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void on_signal(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+  std::signal(SIGINT, SIG_DFL);  // a second ^C kills immediately
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pim;
+
+  tools::ArgParser args("pimserved", "serve evaluations over a local socket");
+  args.option("--listen", "PATH", "", "Unix domain socket path to listen on");
+  args.option("--port", "N", "-1",
+              "loopback TCP port to listen on (-1 = off, 0 = ephemeral; the "
+              "bound port is printed on startup)");
+  args.option("--jobs", "N", "0", "worker threads (0 = all hardware threads)");
+  args.option("--max-inflight", "N", "4",
+              "concurrent evaluate/batch requests; excess requests get a "
+              "structured \"overloaded\" error immediately");
+  args.option("--max-request-bytes", "N", "8388608",
+              "refuse request lines longer than this (0 = unlimited)");
+  args.option("--scenario-timeout-ms", "N", "0",
+              "per-scenario wall-clock watchdog (0 = off); a killed scenario "
+              "surfaces as a \"budget_exceeded\" error");
+  args.option("--max-time-ps", "N", "0",
+              "default simulated-time budget for requests that set none (0 = "
+              "unlimited)");
+  args.option("--cache-dir", "DIR", "",
+              "durable L2: cache whole evaluation reports in this directory "
+              "(shareable with pimdse's .pimdse-cache)");
+  args.option("--cache-cap-mb", "N", "0", "L2 size cap in MiB (0 = unbounded)");
+  tools::add_observability_options(args);
+  args.parse(argc, argv);
+
+  tools::Observability obs = tools::Observability::from_args(args, "pimserved");
+
+  const long port = args.get_int("--port");
+  if (port < -1 || port > 65535) {
+    std::fprintf(stderr, "pimserved: --port must be in [-1, 65535], got %ld\n", port);
+    return 2;
+  }
+
+  serve::ServerOptions opt;
+  opt.unix_path = args.get("--listen");
+  opt.tcp_port = static_cast<int>(port);
+  opt.jobs = args.get_unsigned("--jobs");
+  opt.max_inflight = args.get_unsigned("--max-inflight");
+  opt.max_request_bytes = args.get_unsigned("--max-request-bytes");
+  opt.scenario_timeout_ms = args.get_unsigned("--scenario-timeout-ms");
+  opt.default_max_time_ps = static_cast<uint64_t>(args.get_int("--max-time-ps"));
+  opt.cache_dir = args.get("--cache-dir");
+  opt.cache_cap_bytes = uint64_t{args.get_unsigned("--cache-cap-mb")} << 20;
+
+  if (opt.unix_path.empty() && opt.tcp_port < 0) {
+    std::fprintf(stderr, "pimserved: nothing to listen on — pass --listen PATH and/or --port N\n");
+    return 2;
+  }
+
+  try {
+    serve::Server server(opt);
+    server.set_stop_flag(&g_stop);
+    server.set_trace(obs.sink());
+    server.listen();
+
+    // Readiness lines, flushed: supervisors (and scripts/serve_hammer.py)
+    // wait for these before connecting, and --port 0 is only knowable here.
+    if (!opt.unix_path.empty()) {
+      std::printf("pimserved: listening on unix:%s\n", opt.unix_path.c_str());
+    }
+    if (server.tcp_port() >= 0) {
+      std::printf("pimserved: listening on tcp:127.0.0.1:%d\n", server.tcp_port());
+    }
+    std::fflush(stdout);
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+#ifndef _WIN32
+    std::signal(SIGPIPE, SIG_IGN);  // belt and braces; sends use MSG_NOSIGNAL
+#endif
+
+    server.serve();
+
+    // Drained: write the final registry snapshot where --metrics-out asked.
+    if (!obs.metrics_path.empty()) {
+      server.registry().write(obs.metrics_path);
+      std::fprintf(stderr, "wrote %s\n", obs.metrics_path.c_str());
+    }
+    if (obs.trace) {
+      obs.trace->write(obs.trace_path);
+      std::fprintf(stderr, "wrote %s\n", obs.trace_path.c_str());
+    }
+    std::fprintf(stderr, "pimserved: drained, exiting\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pimserved: %s\n", e.what());
+    return 1;
+  }
+}

@@ -34,10 +34,11 @@ using namespace pim;
 
 /// --arch accepts the three named presets or a configuration file path.
 config::ArchConfig arch_by_name_or_file(const std::string& name) {
-  if (name == "tiny") return config::ArchConfig::tiny();
-  if (name == "paper") return config::ArchConfig::paper_default();
-  if (name == "mnsim") return config::ArchConfig::mnsim_like();
-  return config::ArchConfig::load(name);
+  try {
+    return config::ArchConfig::preset(name);
+  } catch (const std::invalid_argument&) {
+    return config::ArchConfig::load(name);
+  }
 }
 
 }  // namespace
