@@ -7,10 +7,12 @@
 //
 // Usage:
 //   custom_network [network.json] [arch.json]
-// With no arguments it writes demo files next to the binary first, so the
-// example is runnable out of the box, then consumes them like user input.
-// The shipped configs/workload_resblock.json is the same network.
+// With no arguments it writes demo files under a scratch directory first, so
+// the example is runnable out of the box (and never litters the invoking
+// directory), then consumes them like user input. The shipped
+// configs/workload_resblock.json is the same network.
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "config/arch_config.h"
@@ -46,8 +48,21 @@ const char* kDemoNetwork = R"({
 int main(int argc, char** argv) {
   using namespace pim;
 
-  std::string net_path = argc > 1 ? argv[1] : "demo_network.json";
-  std::string cfg_path = argc > 2 ? argv[2] : "demo_arch.json";
+  // Default demo inputs (and the round-trip export derived from them) go to
+  // a scratch directory, not the cwd — running the example must not strew
+  // files over a source checkout. Explicit paths are used as given.
+  std::string net_path;
+  std::string cfg_path;
+  if (argc > 1) {
+    net_path = argv[1];
+    cfg_path = argc > 2 ? argv[2] : "demo_arch.json";
+  } else {
+    const std::filesystem::path scratch =
+        std::filesystem::temp_directory_path() / "pim_custom_network_demo";
+    std::filesystem::create_directories(scratch);
+    net_path = (scratch / "demo_network.json").string();
+    cfg_path = (scratch / "demo_arch.json").string();
+  }
   if (argc <= 1) {
     // Materialize the demo inputs.
     json::write_file(net_path, json::parse(kDemoNetwork));

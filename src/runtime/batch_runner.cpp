@@ -249,32 +249,38 @@ BatchResult BatchRunner::run(const std::vector<Scenario>& scenarios) const {
       artifacts_ ? artifacts_ : std::make_shared<artifact::Store>();
   const artifact::StoreStats before = store->stats();
 
-  // Resolve every workload serially up front: one graph build (and for graph
-  // files, one file read) per unique (workload, init_params) pair, before any
-  // worker starts. Prebuilt scenarios (dse::Evaluator) pass straight through
-  // so the graph their key was fingerprinted on is exactly what runs.
+  // Resolve every workload up front: one graph build (and for graph files,
+  // one file read) per unique (workload, init_params) pair, before any worker
+  // starts. Prebuilt scenarios (dse::Evaluator) pass straight through so the
+  // graph their key was fingerprinted on is exactly what runs. The dedup map
+  // is computed serially (a cheap equality scan); the unique resolves then
+  // fan out over a bounded worker pool — artifact::Store is thread-safe and
+  // single-flight, so a cold multi-workload sweep stops building graphs
+  // one-at-a-time while staying one-build-per-unique-graph.
   std::vector<ResolvedWorkload> resolved(scenarios.size());
+  constexpr size_t kNotDup = static_cast<size_t>(-1);
+  std::vector<size_t> dup_of(scenarios.size(), kNotDup);
+  std::vector<size_t> uniques;
   for (size_t i = 0; i < scenarios.size(); ++i) {
     const Scenario& s = scenarios[i];
     if (s.prebuilt != nullptr) {
       resolved[i].handle = {s.prebuilt_fingerprint, s.functional, s.prebuilt};
       continue;
     }
-    size_t same = scenarios.size();
-    for (size_t j = 0; j < i; ++j) {
-      if (scenarios[j].prebuilt == nullptr && scenarios[j].functional == s.functional &&
-          scenarios[j].workload == s.workload) {
-        same = j;
+    for (size_t j : uniques) {
+      if (scenarios[j].functional == s.functional && scenarios[j].workload == s.workload) {
+        dup_of[i] = j;
         break;
       }
     }
-    if (same < i) {
-      resolved[i] = resolved[same];
-      continue;
-    }
-    // Transient resolve failures (vanished graph file, unreadable mount) get
-    // the same bounded retry as scenarios; a deterministic parse error fails
-    // immediately and run_one reports it per scenario.
+    if (dup_of[i] == kNotDup) uniques.push_back(i);
+  }
+
+  // Transient resolve failures (vanished graph file, unreadable mount) get
+  // the same bounded retry as scenarios; a deterministic parse error fails
+  // immediately and run_one reports it per scenario.
+  auto resolve_one = [&](size_t i) {
+    const Scenario& s = scenarios[i];
     for (unsigned attempt = 0;; ++attempt) {
       try {
         if (testing::failpoint_hit("graph_resolve")) {
@@ -299,6 +305,29 @@ BatchResult BatchRunner::run(const std::vector<Scenario>& scenarios) const {
                     << " after transient failure (attempt " << (attempt + 2)
                     << "): " << resolved[i].error;
     }
+  };
+
+  const unsigned prefetch_jobs =
+      std::max(1u, std::min<unsigned>(batch.jobs, static_cast<unsigned>(uniques.size())));
+  if (prefetch_jobs <= 1) {
+    for (size_t i : uniques) resolve_one(i);
+  } else {
+    std::atomic<size_t> next_unique{0};
+    std::vector<std::thread> prefetchers;
+    prefetchers.reserve(prefetch_jobs);
+    for (unsigned t = 0; t < prefetch_jobs; ++t) {
+      prefetchers.emplace_back([&] {
+        for (;;) {
+          const size_t u = next_unique.fetch_add(1, std::memory_order_relaxed);
+          if (u >= uniques.size()) return;
+          resolve_one(uniques[u]);
+        }
+      });
+    }
+    for (std::thread& t : prefetchers) t.join();
+  }
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    if (dup_of[i] != kNotDup) resolved[i] = resolved[dup_of[i]];
   }
 
   // Host-side trace rows: one process ("host") with a thread per worker.

@@ -326,6 +326,71 @@ TEST(BatchRunnerArtifacts, SixteenScenariosFourCompilesBitIdentical) {
   EXPECT_TRUE(diffs.empty()) << diffs.front();
 }
 
+TEST(BatchRunnerArtifacts, ParallelPrefetchBitIdenticalOneBuildPerUniqueGraph) {
+  // Many *unique* workloads so the prefetch itself fans out (the previous
+  // test has one unique graph — its prefetch runs on a single thread). The
+  // concurrent prefetch must still build each unique graph exactly once
+  // (single-flight store), duplicate scenarios must share the resolve, and
+  // results must be bit-identical to the serial-prefetch path (jobs=1).
+  std::vector<runtime::Scenario> scenarios;
+  const std::vector<int32_t> sizes = {6, 8, 10, 12, 14, 16};
+  for (int rep = 0; rep < 2; ++rep) {
+    for (const int32_t hw : sizes) {
+      runtime::Scenario s;
+      s.workload = workload::WorkloadSpec::builtin("tiny_cnn", hw);
+      s.arch = config::ArchConfig::tiny();
+      s.functional = false;
+      s.name = s.derive_name() + "#" + std::to_string(rep);
+      scenarios.push_back(std::move(s));
+    }
+  }
+
+  auto store = std::make_shared<artifact::Store>();
+  runtime::BatchRunner runner(8);
+  runner.set_artifacts(store);
+  const runtime::BatchResult parallel = runner.run(scenarios);
+  ASSERT_TRUE(parallel.all_ok());
+  EXPECT_EQ(parallel.artifacts.graph_misses, sizes.size())
+      << "one graph build per unique workload, even with concurrent prefetch";
+  EXPECT_EQ(parallel.artifacts.graph_hits, 0u) << "duplicates share the resolve, not the store";
+  EXPECT_EQ(parallel.artifacts.program_misses, sizes.size());
+
+  const runtime::BatchResult serial = runtime::BatchRunner(1).run(scenarios);
+  const std::vector<std::string> diffs = runtime::compare_results(parallel, serial);
+  EXPECT_TRUE(diffs.empty()) << diffs.front();
+}
+
+TEST(BatchRunnerArtifacts, ParallelPrefetchFailureParityWithSerial) {
+  // A workload whose resolve fails deterministically (missing graph file)
+  // must produce the same per-scenario error through the concurrent prefetch
+  // as through the serial one, while healthy scenarios still succeed.
+  std::vector<runtime::Scenario> scenarios;
+  for (const int32_t hw : {8, 10, 12}) {
+    runtime::Scenario s;
+    s.workload = workload::WorkloadSpec::builtin("tiny_cnn", hw);
+    s.arch = config::ArchConfig::tiny();
+    s.name = s.derive_name();
+    scenarios.push_back(std::move(s));
+  }
+  runtime::Scenario bad;
+  bad.workload = workload::WorkloadSpec::graph_file(fresh_dir("prefetch_fail") + "/absent.json");
+  bad.arch = config::ArchConfig::tiny();
+  bad.name = "absent";
+  scenarios.push_back(bad);
+
+  const runtime::BatchResult parallel = runtime::BatchRunner(4).run(scenarios);
+  const runtime::BatchResult serial = runtime::BatchRunner(1).run(scenarios);
+  ASSERT_EQ(parallel.results.size(), 4u);
+  EXPECT_TRUE(parallel.results[0].ok);
+  EXPECT_FALSE(parallel.results[3].ok);
+  EXPECT_EQ(parallel.results[3].fail_kind, runtime::FailKind::Exception);
+  ASSERT_EQ(serial.results.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(parallel.results[i].ok, serial.results[i].ok) << i;
+    EXPECT_EQ(parallel.results[i].error, serial.results[i].error) << i;
+  }
+}
+
 // ------------------------------------------- evaluator TOCTOU regression
 
 TEST(EvaluatorArtifacts, FileEditedMidBatchCannotPoisonTheResultCache) {
